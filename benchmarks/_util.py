@@ -1,0 +1,20 @@
+"""Output plumbing for the benchmark suite.
+
+Each bench renders the paper-style rows/series and calls :func:`emit`,
+which prints them (visible with ``pytest -s``) and persists them under
+``benchmarks/output/`` so results survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's report and persist it to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,82 @@
+"""Ablation — what the probe budget buys under different rankings.
+
+BlameIt ranks on-demand probes by *predicted client-time product*
+(§5.3). The ablation compares, under a tight budget, how much measured
+issue impact the probed set covers when issues are picked (a) by the
+predicted impact ranking, (b) by affected-prefix count (prior practice),
+and (c) first-come-first-served — using the same closed-issue ledger
+from one pipeline run.
+"""
+
+from __future__ import annotations
+
+from _util import emit
+
+from repro.analysis.report import render_table
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.net.geo import Region
+from repro.sim.faults import FaultRates
+from repro.sim.scenario import Scenario, ScenarioParams, build_world
+
+RUN = (288, 2 * 288)
+BUDGET_FRACTION = 0.25
+
+
+def _world():
+    params = ScenarioParams(
+        seed=91,
+        regions=(Region.USA, Region.EUROPE, Region.INDIA),
+        duration_days=2,
+        locations_per_region=2,
+        fault_rates=FaultRates(middle_per_day=16.0, client_per_day=4.0),
+    )
+    return build_world(params)
+
+
+def _issue_ledger(world, state):
+    scenario = Scenario.from_world(world)
+    pipeline = BlameItPipeline(
+        scenario, config=BlameItConfig(probe_budget_per_window=100),
+        fixed_table=state.table,
+    )
+    state.apply(pipeline)
+    report = pipeline.run(*RUN)
+    return report.closed_middle
+
+
+def test_ablation_budget_ranking(benchmark):
+    from repro.analysis.validation import build_warmup_state
+
+    world = _world()
+    state = build_warmup_state(world, days=1, stride=2)
+    issues = benchmark.pedantic(
+        _issue_ledger, args=(world, state), rounds=1, iterations=1
+    )
+    assert len(issues) >= 8, "need a meaningful issue population"
+    budget = max(1, int(BUDGET_FRACTION * len(issues)))
+    total_impact = sum(issue.total_client_time for issue in issues)
+
+    def coverage(ranked):
+        picked = ranked[:budget]
+        return sum(issue.total_client_time for issue in picked) / total_impact
+
+    by_impact = sorted(issues, key=lambda i: -i.total_client_time)
+    by_prefixes = sorted(issues, key=lambda i: -len(i.prefixes))
+    fifo = sorted(issues, key=lambda i: i.first_seen)
+    rows = [
+        ["client-time product (BlameIt)", f"{100 * coverage(by_impact):.1f}%"],
+        ["affected-prefix count (prior)", f"{100 * coverage(by_prefixes):.1f}%"],
+        ["first-come-first-served", f"{100 * coverage(fifo):.1f}%"],
+    ]
+    text = render_table(
+        ["ranking", f"impact covered by a {budget}-probe budget"],
+        rows,
+        title=(
+            f"Ablation: probe-budget ranking over {len(issues)} middle issues"
+        ),
+    )
+    assert coverage(by_impact) >= coverage(by_prefixes) - 1e-9
+    assert coverage(by_impact) >= coverage(fifo) - 1e-9
+    assert coverage(by_impact) >= 0.5, "the head should carry most impact"
+    emit("ablation_budget_ranking", text)

@@ -1,0 +1,126 @@
+"""Figure 13 — localization accuracy vs background probing frequency.
+
+Paper findings reproduced: probing every BGP path every 10 minutes gives
+the best accuracy but is prohibitively expensive (~200M probes/day at
+production scale); backing off to 12-hourly probing *with BGP-churn
+triggered probes* keeps accuracy high (93 % in the paper) at 72× less
+probing, while dropping churn triggers costs additional accuracy at long
+intervals because stale baselines misattribute blame after path changes.
+"""
+
+from __future__ import annotations
+
+from _util import emit
+
+from repro.analysis.report import render_table
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.net.geo import Region
+from repro.sim.faults import FaultRates
+from repro.sim.scenario import Scenario, ScenarioParams, build_world
+
+#: Background probing intervals in buckets: 10 min, 3 h, 12 h, 24 h.
+INTERVALS = (2, 36, 144, 288)
+
+RUN = (144, 3 * 288)
+
+
+def _bench_world():
+    params = ScenarioParams(
+        seed=77,
+        regions=(Region.USA, Region.EUROPE, Region.INDIA),
+        duration_days=3,
+        locations_per_region=2,
+        churn_fraction_per_day=0.5,
+        fault_rates=FaultRates(middle_per_day=14.0, client_per_day=4.0),
+    )
+    return build_world(params)
+
+
+def _accuracy(scenario, report):
+    """Fraction of probe verdicts that name the true culprit AS."""
+    matched = evaluated = 0
+    for item in report.localized:
+        if item.verdict is None:
+            continue
+        truth = scenario.true_culprit(
+            item.issue_key[0], item.prefix24, item.probed_at
+        )
+        if truth is None:
+            continue
+        evaluated += 1
+        if item.verdict.asn == truth[1]:
+            matched += 1
+    return matched, evaluated
+
+
+def _sweep(world, state):
+    scenario = Scenario.from_world(world)
+    results = {}
+    for churn in (True, False):
+        for interval in INTERVALS:
+            config = BlameItConfig(
+                background_interval_buckets=interval,
+                churn_triggered_probes=churn,
+                probe_budget_per_window=8,
+            )
+            pipeline = BlameItPipeline(
+                scenario, config=config, fixed_table=state.table, seed=4242
+            )
+            state.apply(pipeline)
+            report = pipeline.run(*RUN)
+            matched, evaluated = _accuracy(scenario, report)
+            results[(interval, churn)] = {
+                "matched": matched,
+                "evaluated": evaluated,
+                "bg_probes": report.probes_background,
+            }
+    return results
+
+
+def test_fig13_accuracy_vs_probe_frequency(benchmark):
+    world = _bench_world()
+    from repro.analysis.validation import build_warmup_state
+
+    state = build_warmup_state(world, days=1, stride=2)
+    results = benchmark.pedantic(_sweep, args=(world, state), rounds=1, iterations=1)
+    rows = []
+    for churn in (True, False):
+        for interval in INTERVALS:
+            cell = results[(interval, churn)]
+            accuracy = (
+                cell["matched"] / cell["evaluated"] if cell["evaluated"] else 0.0
+            )
+            rows.append(
+                [
+                    f"every {interval * 5} min",
+                    "on" if churn else "off",
+                    cell["evaluated"],
+                    f"{100 * accuracy:.1f}%",
+                    cell["bg_probes"],
+                ]
+            )
+    text = render_table(
+        ["periodic interval", "churn triggers", "verdicts", "accuracy", "bg probes"],
+        rows,
+        title="Figure 13: localization accuracy vs background probing frequency",
+    )
+    acc = {
+        key: (v["matched"] / v["evaluated"] if v["evaluated"] else 0.0)
+        for key, v in results.items()
+    }
+    # The 12-hour + churn sweet spot keeps high accuracy...
+    assert acc[(144, True)] >= 0.80, acc
+    # ...and costs vastly less than 10-minute probing (the 72x claim):
+    savings = results[(2, True)]["bg_probes"] / max(
+        1, results[(144, True)]["bg_probes"]
+    )
+    text += f"\nprobe savings, 10-min vs 12-h+churn: {savings:.0f}x (paper: 72x)"
+    assert savings >= 20
+    # Churn triggers matter at long intervals: accuracy with them on is
+    # at least as good as with them off (usually strictly better).
+    assert acc[(144, True)] >= acc[(144, False)] - 0.02
+    assert acc[(288, True)] >= acc[(288, False)] - 0.02
+    # Frequent probing is never worse than daily probing without triggers.
+    assert acc[(2, True)] >= acc[(288, False)] - 0.02
+    emit("fig13_probe_freq", text)

@@ -1,0 +1,65 @@
+"""Shared worlds and scenarios for the benchmark suite.
+
+Scales are chosen so the whole suite runs in minutes on a laptop while
+keeping the paper's structural properties. Every bench prints the scale
+it ran at; see EXPERIMENTS.md for the mapping to the paper's production
+numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import build_warmup_state
+from repro.net.geo import Region
+from repro.sim.scenario import Scenario, ScenarioParams, build_world
+
+
+@pytest.fixture(scope="session")
+def global_params() -> ScenarioParams:
+    """All seven regions, two edge locations each, nine simulated days."""
+    return ScenarioParams(seed=2026, duration_days=9, locations_per_region=2)
+
+
+@pytest.fixture(scope="session")
+def global_world(global_params):
+    return build_world(global_params)
+
+
+@pytest.fixture(scope="session")
+def global_scenario(global_world):
+    """Faults and route churn generated at the default rates."""
+    return Scenario.from_world(global_world)
+
+
+@pytest.fixture(scope="session")
+def global_state(global_world):
+    """Expected-RTT table + predictor warmup shared across benches."""
+    return build_warmup_state(global_world, days=1, stride=2)
+
+
+@pytest.fixture(scope="session")
+def incident_params() -> ScenarioParams:
+    """Three-region world used by the incident and probing benches."""
+    return ScenarioParams(
+        seed=11,
+        regions=(Region.USA, Region.EUROPE, Region.INDIA),
+        duration_days=2,
+        locations_per_region=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def incident_world(incident_params):
+    return build_world(incident_params)
+
+
+@pytest.fixture(scope="session")
+def incident_state(incident_world):
+    return build_warmup_state(incident_world, days=1, stride=2)
+
+
+@pytest.fixture(scope="session")
+def incident_rng():
+    return np.random.default_rng(5)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Plan a traceroute budget: cost vs coverage vs localization quality.
+
+An operator adopting BlameIt has two knobs that control active-probing
+cost: the per-window on-demand budget (§5.3) and the background probing
+interval (§5.4, plus churn triggers). This example sweeps both on one
+simulated day and prints the trade-off table an operator would use to
+choose a configuration — including what an always-on prober would cost
+instead.
+
+Run:
+    python examples/probe_budget_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.validation import build_warmup_state
+from repro.baselines.active_only import ActiveOnlyMonitor
+from repro.cloud.traceroute import TracerouteEngine
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.net.geo import Region
+from repro.sim.faults import FaultRates
+from repro.sim.scenario import Scenario, ScenarioParams, build_world
+
+RUN = (288, 2 * 288)  # one day
+
+
+def run_config(scenario, state, budget: int, interval: int, churn: bool):
+    config = BlameItConfig(
+        probe_budget_per_window=budget,
+        background_interval_buckets=interval,
+        churn_triggered_probes=churn,
+    )
+    pipeline = BlameItPipeline(scenario, config=config, fixed_table=state.table)
+    state.apply(pipeline)
+    report = pipeline.run(*RUN)
+    named = sum(
+        1 for item in report.localized if item.verdict and item.verdict.asn
+    )
+    issues = len(report.closed_middle)
+    return {
+        "probes": report.probes_on_demand + report.probes_background,
+        "issues": issues,
+        "localized": named,
+        "denied": pipeline.on_demand.budget.denied,
+    }
+
+
+def main() -> None:
+    params = ScenarioParams(
+        seed=23,
+        regions=(Region.USA, Region.EUROPE, Region.INDIA),
+        duration_days=2,
+        locations_per_region=2,
+        fault_rates=FaultRates(middle_per_day=10.0),
+    )
+    world = build_world(params)
+    print("training on one fault-free day ...")
+    state = build_warmup_state(world, days=1, stride=2)
+    scenario = Scenario.from_world(world)
+
+    print(f"\n{'budget/window':>14} {'bg interval':>12} {'churn':>6} "
+          f"{'probes/day':>11} {'middle issues':>14} {'localized':>10} {'denied':>7}")
+    for budget in (1, 3, 8):
+        for interval, churn in ((144, True), (144, False), (288, True)):
+            result = run_config(scenario, state, budget, interval, churn)
+            print(
+                f"{budget:>14} {interval * 5:>10}min {str(churn):>6} "
+                f"{result['probes']:>11} {result['issues']:>14} "
+                f"{result['localized']:>10} {result['denied']:>7}"
+            )
+
+    # What the alternative costs: always-on probing of every path.
+    monitor = ActiveOnlyMonitor(
+        engine=TracerouteEngine(scenario, np.random.default_rng(1)),
+        interval_buckets=2,
+    )
+    for location_id, middle, prefix in state.targets:
+        monitor.register_target(location_id, middle, prefix)
+    monitor.run(*RUN)
+    print(
+        f"\nalways-on strawman (every path / 10 min): "
+        f"{monitor.engine.probes_issued} probes for the same day"
+    )
+    print(
+        "rule of thumb from the paper: a ~5% probing budget covers >80% of\n"
+        "client-time impact because issue impact is heavily skewed (Fig. 12)."
+    )
+
+
+if __name__ == "__main__":
+    main()

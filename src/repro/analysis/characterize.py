@@ -1,0 +1,184 @@
+"""Measurement characterization: the §2 analyses behind Figures 2-4.
+
+All functions stream over per-bucket quartet lists so month-scale runs
+never hold the full measurement set in memory.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cloud.locations import RTTTargets
+from repro.core.impact import ImpactRecord
+from repro.core.quartet import Quartet
+from repro.net.bgp import Timestamp
+from repro.net.geo import Region
+
+#: Buckets per hour.
+_BUCKETS_PER_HOUR = 12
+
+
+def bad_fraction_by_region(
+    quartet_stream: Iterable[list[Quartet]],
+    targets: RTTTargets,
+    min_samples: int = 10,
+) -> dict[tuple[Region, bool], float]:
+    """Fraction of quartets that are bad, per (region, mobile) — Figure 2.
+
+    Args:
+        quartet_stream: Per-bucket quartet lists.
+        targets: Region badness thresholds.
+        min_samples: Quartet sample gate (§2.1 uses 10).
+
+    Returns:
+        Map from (region, mobile) to the bad fraction, for combinations
+        with at least one gated quartet.
+    """
+    total: Counter = Counter()
+    bad: Counter = Counter()
+    for quartets in quartet_stream:
+        for quartet in quartets:
+            if quartet.n_samples < min_samples:
+                continue
+            key = (quartet.region, quartet.mobile)
+            total[key] += 1
+            if quartet.mean_rtt_ms >= targets.target_ms(*key):
+                bad[key] += 1
+    return {key: bad[key] / count for key, count in total.items()}
+
+
+def bad_fraction_by_location(
+    quartet_stream: Iterable[list[Quartet]],
+    targets: RTTTargets,
+    min_samples: int = 10,
+) -> dict[str, float]:
+    """Per-cloud-location bad-quartet fraction.
+
+    §2.2: "one-third of the cloud locations have at least 13% bad
+    quartets" — this computes the per-location values that claim
+    summarizes.
+    """
+    total: Counter = Counter()
+    bad: Counter = Counter()
+    for quartets in quartet_stream:
+        for quartet in quartets:
+            if quartet.n_samples < min_samples:
+                continue
+            total[quartet.location_id] += 1
+            if quartet.mean_rtt_ms >= targets.target_ms(quartet.region, quartet.mobile):
+                bad[quartet.location_id] += 1
+    return {loc: bad[loc] / count for loc, count in total.items()}
+
+
+def bad_fraction_by_hour(
+    quartet_stream: Iterable[tuple[Timestamp, list[Quartet]]],
+    targets: RTTTargets,
+    client_asn: int | None = None,
+    min_samples: int = 10,
+) -> dict[int, float]:
+    """Per-hour bad-quartet fraction over a run — Figure 3.
+
+    Args:
+        quartet_stream: (bucket, quartets) pairs in time order.
+        targets: Region badness thresholds.
+        client_asn: Restrict to one ISP when given (Figure 3 bottom).
+        min_samples: Quartet sample gate.
+
+    Returns:
+        Map from hour index (bucket // 12) to bad fraction; hours with no
+        gated quartets are absent.
+    """
+    total: Counter = Counter()
+    bad: Counter = Counter()
+    for time, quartets in quartet_stream:
+        hour = time // _BUCKETS_PER_HOUR
+        for quartet in quartets:
+            if quartet.n_samples < min_samples:
+                continue
+            if client_asn is not None and quartet.client_asn != client_asn:
+                continue
+            total[hour] += 1
+            if quartet.mean_rtt_ms >= targets.target_ms(quartet.region, quartet.mobile):
+                bad[hour] += 1
+    return {hour: bad[hour] / count for hour, count in total.items()}
+
+
+@dataclass
+class PersistenceTracker:
+    """Run-length tracking of badness per ⟨/24, location, mobile⟩ — Fig 4a.
+
+    Feed each bucket's set of *bad* tuple keys in time order; completed
+    run lengths (in consecutive buckets) accumulate in
+    :attr:`completed_runs`.
+    """
+
+    completed_runs: list[int] = field(default_factory=list)
+    _open: dict[tuple, tuple[Timestamp, int]] = field(default_factory=dict)
+
+    def observe_bucket(self, time: Timestamp, bad_keys: set[tuple]) -> None:
+        """Record which keys were bad in one bucket."""
+        for key in bad_keys:
+            run = self._open.get(key)
+            if run is not None and run[0] == time - 1:
+                self._open[key] = (time, run[1] + 1)
+            else:
+                if run is not None:
+                    self.completed_runs.append(run[1])
+                self._open[key] = (time, 1)
+        stale = [key for key, (last, _) in self._open.items() if last < time]
+        for key in stale:
+            self.completed_runs.append(self._open.pop(key)[1])
+
+    def finish(self) -> list[int]:
+        """Close all open runs and return every run length."""
+        for _, length in self._open.values():
+            self.completed_runs.append(length)
+        self._open.clear()
+        return self.completed_runs
+
+    @staticmethod
+    def bad_keys(
+        quartets: list[Quartet], targets: RTTTargets, min_samples: int = 10
+    ) -> set[tuple]:
+        """The bad ⟨/24, location, mobile⟩ keys of one bucket."""
+        return {
+            (q.prefix24, q.location_id, q.mobile)
+            for q in quartets
+            if q.n_samples >= min_samples
+            and q.mean_rtt_ms >= targets.target_ms(q.region, q.mobile)
+        }
+
+
+def impact_records_from_issues(
+    quartet_stream: Iterable[tuple[Timestamp, list[Quartet]]],
+    targets: RTTTargets,
+    min_samples: int = 10,
+) -> list[ImpactRecord]:
+    """Per-⟨location, BGP path⟩ impact aggregates — Figure 4b.
+
+    For every aggregate that was ever bad: the distinct affected /24s,
+    the distinct affected users (§2.4: "number of affected users ...
+    multiplied by the duration"), and the number of bad buckets.
+    """
+    users_by_prefix: dict[tuple, dict[int, int]] = {}
+    buckets: dict[tuple, set[Timestamp]] = {}
+    for time, quartets in quartet_stream:
+        for quartet in quartets:
+            if quartet.n_samples < min_samples:
+                continue
+            if quartet.mean_rtt_ms < targets.target_ms(quartet.region, quartet.mobile):
+                continue
+            key = (quartet.location_id, quartet.middle)
+            users_by_prefix.setdefault(key, {})[quartet.prefix24] = quartet.users
+            buckets.setdefault(key, set()).add(time)
+    return [
+        ImpactRecord(
+            key=key,
+            affected_prefixes=len(users_by_prefix[key]),
+            affected_clients=sum(users_by_prefix[key].values()),
+            duration_buckets=len(buckets[key]),
+        )
+        for key in sorted(users_by_prefix, key=str)
+    ]

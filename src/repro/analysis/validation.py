@@ -1,0 +1,331 @@
+"""Validation harnesses: §6.3 incident matching and §6.4 corroboration.
+
+* :func:`validate_incident` runs the full pipeline over one labelled
+  incident and checks the blamed segment and culprit AS against ground
+  truth — the reproduction of the paper's 88/88 incident validation.
+* :func:`corroboration_ratios` reproduces the §6.4 methodology: treat
+  continuous ground-truth traceroutes as the oracle, and per ⟨cloud
+  location, BGP path⟩ measure the fraction of latency issues whose
+  culprit-AS diagnosis matches — for BlameIt's BGP-path grouping and for
+  the ⟨AS, Metro⟩ alternative (Figure 11).
+
+Both are deliberately cheap to run many times over one shared world:
+:func:`build_warmup_state` does the expensive training pass once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.asmetro import as_metro_quartets
+from repro.core.blame import Blame
+from repro.core.config import BlameItConfig
+from repro.core.passive import PassiveLocalizer
+from repro.core.pipeline import BlameItPipeline, PipelineReport
+from repro.core.quartet import Quartet
+from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
+from repro.net.asn import ASPath
+from repro.net.bgp import Timestamp
+from repro.sim.faults import SegmentKind
+from repro.sim.incidents import IncidentSpec
+from repro.sim.scenario import Scenario, World
+
+#: Noise floor for ground-truth traceroute comparisons.
+_MIN_DELTA_MS = 5.0
+
+Rekey = Callable[[list[Quartet], object], list[Quartet]]
+
+
+@dataclass
+class WarmupState:
+    """One-time training artifacts shared across runs over a world.
+
+    Attributes:
+        table: Expected-RTT medians learned from fault-free history.
+        client_observations: (path key, bucket, users) triples for the
+            client-count predictor.
+        targets: (location, middle, representative /24) background-probe
+            targets.
+    """
+
+    table: ExpectedRTTTable
+    client_observations: list[tuple[tuple, Timestamp, int]] = field(default_factory=list)
+    targets: list[tuple[str, ASPath, int]] = field(default_factory=list)
+
+    def apply(self, pipeline: BlameItPipeline) -> None:
+        """Preload a pipeline's predictor and probe-target registry."""
+        for key, time, users in self.client_observations:
+            pipeline.client_predictor.observe(key, time, users)
+        for location_id, middle, prefix24 in self.targets:
+            pipeline.background.register_target(location_id, middle, prefix24)
+
+
+def build_warmup_state(
+    world: World,
+    days: int = 1,
+    stride: int = 2,
+    rekey: Rekey | None = None,
+) -> WarmupState:
+    """Train expected RTTs and client counts on a fault-free sibling.
+
+    Args:
+        world: The shared world.
+        days: Training horizon.
+        stride: Sample every ``stride``-th bucket.
+        rekey: Optional quartet transform (e.g.
+            :func:`repro.baselines.asmetro.as_metro_quartets`) so the
+            learned table matches an alternative grouping.
+
+    Returns:
+        A :class:`WarmupState` usable by any scenario over this world.
+    """
+    scenario = Scenario(world, (), ())
+    learner = ExpectedRTTLearner(history_days=max(days, 1))
+    state = WarmupState(table=ExpectedRTTTable())
+    buckets = days * 288
+    for time in range(0, buckets, max(1, stride)):
+        quartets = scenario.generate_quartets(time)
+        if rekey is not None:
+            quartets = rekey(quartets, world.population)
+        learner.observe_all(quartets)
+        per_path: Counter = Counter()
+        for quartet in quartets:
+            per_path[(quartet.location_id, quartet.middle)] += quartet.users
+        for key, users in per_path.items():
+            state.client_observations.append((key, time, users))
+        seen = {t[:2] for t in state.targets}
+        for quartet in quartets:
+            key = (quartet.location_id, quartet.middle)
+            if key not in seen:
+                seen.add(key)
+                state.targets.append((quartet.location_id, quartet.middle, quartet.prefix24))
+    state.table = learner.table()
+    return state
+
+
+# ---------------------------------------------------------------------------
+# §6.3 — incident validation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IncidentOutcome:
+    """Result of validating one labelled incident.
+
+    Attributes:
+        spec: The incident under test.
+        blamed_segment: Segment of the dominant issue BlameIt reported
+            (None when nothing was blamed).
+        culprit_asn: The AS BlameIt named (None when unlocalized).
+        segment_matched: Blamed segment equals ground truth.
+        culprit_matched: Named AS equals ground truth.
+        report: The underlying pipeline report (for drill-down).
+    """
+
+    spec: IncidentSpec
+    blamed_segment: SegmentKind | None
+    culprit_asn: int | None
+    segment_matched: bool
+    culprit_matched: bool
+    report: PipelineReport
+
+    @property
+    def matched(self) -> bool:
+        """Full agreement with the manual investigation."""
+        return self.segment_matched and self.culprit_matched
+
+
+def validate_incident(
+    world: World,
+    spec: IncidentSpec,
+    warmup: WarmupState,
+    config: BlameItConfig | None = None,
+    pad_buckets: int = 6,
+) -> IncidentOutcome:
+    """Run BlameIt over one incident and compare against its label.
+
+    The pipeline runs from shortly before onset to shortly after the
+    incident clears; the *dominant* issue (largest measured impact)
+    is compared to the ground-truth segment and AS — mirroring how the
+    paper's operators match BlameIt output to an investigation report.
+    """
+    scenario = spec.realize(world)
+    pipeline = BlameItPipeline(
+        scenario,
+        config=config,
+        fixed_table=warmup.table,
+        seed=1000 + spec.incident_id,
+    )
+    warmup.apply(pipeline)
+    start = max(0, spec.start - pad_buckets)
+    end = min(world.params.horizon_buckets, spec.start + spec.duration + pad_buckets)
+    report = pipeline.run(start, end)
+    segment, culprit = _dominant_issue(report, world)
+    return IncidentOutcome(
+        spec=spec,
+        blamed_segment=segment,
+        culprit_asn=culprit,
+        segment_matched=segment is spec.expected_segment,
+        culprit_matched=culprit == spec.expected_culprit_asn,
+        report=report,
+    )
+
+
+def _dominant_issue(
+    report: PipelineReport, world: World
+) -> tuple[SegmentKind | None, int | None]:
+    """The blamed (segment, AS) with the most pooled impact.
+
+    Impact is aggregated per culprit across issues *and* locations —
+    a widespread middle fault shows up as several per-location issues
+    naming the same AS (the paper's "peering fault" case study is exactly
+    this), and pooling is what makes the widespread cause beat any one
+    location's side effects.
+    """
+    verdicts = BlameItPipeline.best_verdicts_by_key(report.localized)
+    pooled: dict[tuple[SegmentKind, int | None], float] = {}
+
+    def add(segment: SegmentKind, asn: int | None, impact: float) -> None:
+        key = (segment, asn)
+        pooled[key] = pooled.get(key, 0.0) + impact
+
+    client_asns = set(world.population.asns)
+    for issue in report.closed_cloud:
+        add(SegmentKind.CLOUD, world.cloud_asn, issue.impact)
+    for issue in report.closed_client:
+        add(SegmentKind.CLIENT, int(issue.key), issue.impact)
+    for issue in report.closed_middle:
+        verdict = verdicts.get(issue.key)
+        asn = verdict.asn if verdict else None
+        # §6.4: the traceroute comparison can blame any AS on the path —
+        # a verdict naming the client or cloud AS re-classifies the
+        # issue's segment accordingly (and pools with the passive blames
+        # of that same AS).
+        if asn in client_asns:
+            segment = SegmentKind.CLIENT
+        elif asn == world.cloud_asn:
+            segment = SegmentKind.CLOUD
+        else:
+            segment = SegmentKind.MIDDLE
+        add(segment, asn, issue.total_client_time)
+    if not pooled:
+        return None, None
+    (segment, asn), _ = max(
+        pooled.items(), key=lambda kv: (kv[1], kv[0][0].value, kv[0][1] or -1)
+    )
+    return segment, asn
+
+
+# ---------------------------------------------------------------------------
+# §6.4 — large-scale corroboration
+# ---------------------------------------------------------------------------
+
+
+def _ground_truth_culprit_by_traceroute(
+    scenario: Scenario, healthy: Scenario, quartet: Quartet
+) -> int | None:
+    """The AS with the largest contribution increase vs the healthy view."""
+    current = scenario.traceroute_view(
+        quartet.location_id, quartet.prefix24, quartet.time
+    )
+    baseline = healthy.traceroute_view(
+        quartet.location_id, quartet.prefix24, quartet.time
+    )
+    if current is None or baseline is None:
+        return None
+    before: dict[int, float] = {}
+    previous = 0.0
+    for asn, cumulative in zip(baseline.path, baseline.cumulative_ms):
+        before[asn] = cumulative - previous
+        previous = cumulative
+    best_asn, best_delta = None, _MIN_DELTA_MS
+    previous = 0.0
+    for asn, cumulative in zip(current.path, current.cumulative_ms):
+        delta = (cumulative - previous) - before.get(asn, 0.0)
+        previous = cumulative
+        if delta > best_delta:
+            best_asn, best_delta = asn, delta
+    return best_asn
+
+
+def corroboration_ratios(
+    scenario: Scenario,
+    start: Timestamp,
+    end: Timestamp,
+    table: ExpectedRTTTable,
+    config: BlameItConfig | None = None,
+    use_as_metro: bool = False,
+) -> dict[tuple[str, ASPath], float]:
+    """Per-⟨location, BGP path⟩ agreement with traceroute ground truth.
+
+    For every bad quartet whose ground truth names a culprit AS, the
+    diagnosis is: cloud blame → the cloud ASN, client blame → the client
+    ASN, middle blame → the AS with the largest traceroute-contribution
+    increase (fresh baselines, isolating *grouping* accuracy from
+    baseline staleness). "Insufficient" outcomes are excluded (no
+    diagnosis rendered); "ambiguous" counts as a miss.
+
+    Args:
+        scenario: The faulty world.
+        start, end: Evaluation window.
+        table: Expected-RTT table consistent with the chosen grouping.
+        config: Localizer tunables.
+        use_as_metro: Evaluate the ⟨AS, Metro⟩ variant instead of
+            BGP-path grouping (Figure 11's comparison).
+
+    Returns:
+        Map from the *true* ⟨location, middle path⟩ group to its
+        corroboration ratio, for groups with at least one diagnosis.
+    """
+    world = scenario.world
+    passive = PassiveLocalizer(config or BlameItConfig(), world.targets)
+    healthy = Scenario(world, (), scenario.reroutes)
+    matches: Counter = Counter()
+    totals: Counter = Counter()
+    rng = np.random.default_rng(world.params.seed + 77)
+    for time in range(start, end):
+        quartets = scenario.generate_quartets(time, rng=rng)
+        true_middle = {
+            (q.prefix24, q.location_id, q.mobile): q.middle for q in quartets
+        }
+        evaluated = (
+            as_metro_quartets(quartets, world.population) if use_as_metro else quartets
+        )
+        for result in passive.assign(evaluated, table):
+            quartet = result.quartet
+            truth = scenario.true_culprit(
+                quartet.location_id, quartet.prefix24, quartet.time
+            )
+            if truth is None:
+                continue
+            if result.blame is Blame.INSUFFICIENT:
+                continue
+            diagnosis = _diagnose(result.blame, quartet, scenario, healthy, world)
+            group = (
+                quartet.location_id,
+                true_middle[(quartet.prefix24, quartet.location_id, quartet.mobile)],
+            )
+            totals[group] += 1
+            if diagnosis is not None and diagnosis == truth[1]:
+                matches[group] += 1
+    return {group: matches[group] / total for group, total in totals.items()}
+
+
+def _diagnose(
+    blame: Blame,
+    quartet: Quartet,
+    scenario: Scenario,
+    healthy: Scenario,
+    world: World,
+) -> int | None:
+    if blame is Blame.CLOUD:
+        return world.cloud_asn
+    if blame is Blame.CLIENT:
+        return quartet.client_asn
+    if blame is Blame.MIDDLE:
+        return _ground_truth_culprit_by_traceroute(scenario, healthy, quartet)
+    return None  # ambiguous

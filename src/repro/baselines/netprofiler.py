@@ -1,0 +1,132 @@
+"""NetProfiler-style hierarchical attribute diagnosis.
+
+§7: "The passive diagnosis approach in BlameIt is closest to NetProfiler
+[29]. However, BlameIt operates at much larger scale and its selective
+active probing triggered by passive analyses."
+
+NetProfiler (Padmanabhan et al., IPTPS 2005) groups end-host observations
+along attribute hierarchies (prefix ⊂ AS ⊂ metro …) and blames the
+smallest attribute group that is predominantly unhealthy. This module
+implements that discipline over quartets so the two passive approaches
+can be compared on identical input. The characteristic differences the
+comparison surfaces:
+
+* NetProfiler's groups are *client-side* attributes only — it cannot
+  express "the set of clients sharing a BGP middle path", so middle
+  faults smear across several client-attribute groups;
+* it has no active phase, so its blame stops at a group, never an AS of
+  the middle segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.cloud.clients import ClientPopulation
+from repro.core.quartet import Quartet
+
+#: Attribute levels, smallest group first (the order NetProfiler ascends).
+LEVELS = ("prefix24", "announcement", "as", "metro", "location")
+
+
+@dataclass(frozen=True, slots=True)
+class GroupDiagnosis:
+    """One blamed attribute group.
+
+    Attributes:
+        level: Hierarchy level name (see :data:`LEVELS`).
+        key: The group's identity at that level.
+        bad_fraction: Share of the group's quartets that were bad.
+        members: Number of quartets in the group.
+    """
+
+    level: str
+    key: Hashable
+    bad_fraction: float
+    members: int
+
+
+class NetProfilerDiagnosis:
+    """Smallest-predominantly-bad-group inference over one time window."""
+
+    def __init__(
+        self,
+        population: ClientPopulation,
+        bad_threshold: float = 0.8,
+        min_members: int = 3,
+    ) -> None:
+        """
+        Args:
+            population: Client records, for attribute lookups.
+            bad_threshold: Group bad-fraction that counts as "the group
+                is unhealthy" (mirrors BlameIt's τ).
+            min_members: Minimum quartets before a group is trusted.
+        """
+        if not 0.0 < bad_threshold <= 1.0:
+            raise ValueError("bad_threshold must be in (0, 1]")
+        self.population = population
+        self.bad_threshold = bad_threshold
+        self.min_members = min_members
+
+    def _attributes(self, quartet: Quartet) -> dict[str, Hashable]:
+        client = self.population.get(quartet.prefix24)
+        return {
+            "prefix24": quartet.prefix24,
+            "announcement": client.announcement,
+            "as": client.asn,
+            "metro": client.metro.name,
+            "location": quartet.location_id,
+        }
+
+    def diagnose(
+        self, quartets: list[Quartet], bad: set[int]
+    ) -> list[GroupDiagnosis]:
+        """Blame the smallest predominantly-bad attribute groups.
+
+        Args:
+            quartets: The window's quartets.
+            bad: Prefix24 keys of the bad quartets (caller applies its
+                own badness thresholds, keeping the comparison apples to
+                apples with Algorithm 1's inputs).
+
+        Returns:
+            One diagnosis per blamed group, ascending the hierarchy:
+            once a group is blamed, its members are explained and removed
+            from consideration at coarser levels.
+        """
+        totals: dict[tuple[str, Hashable], int] = {}
+        bad_counts: dict[tuple[str, Hashable], int] = {}
+        member_prefixes: dict[tuple[str, Hashable], set[int]] = {}
+        for quartet in quartets:
+            for level, key in self._attributes(quartet).items():
+                group = (level, key)
+                totals[group] = totals.get(group, 0) + 1
+                member_prefixes.setdefault(group, set()).add(quartet.prefix24)
+                if quartet.prefix24 in bad:
+                    bad_counts[group] = bad_counts.get(group, 0) + 1
+
+        explained: set[int] = set()
+        diagnoses: list[GroupDiagnosis] = []
+        for level in LEVELS:
+            for (group_level, key), total in sorted(
+                totals.items(), key=lambda kv: str(kv[0])
+            ):
+                if group_level != level or total < self.min_members:
+                    continue
+                members = member_prefixes[(group_level, key)]
+                unexplained_bad = (members & bad) - explained
+                if not unexplained_bad:
+                    continue
+                fraction = bad_counts.get((group_level, key), 0) / total
+                if fraction >= self.bad_threshold:
+                    diagnoses.append(
+                        GroupDiagnosis(
+                            level=level,
+                            key=key,
+                            bad_fraction=fraction,
+                            members=total,
+                        )
+                    )
+                    explained |= members
+        return diagnoses

@@ -1,0 +1,175 @@
+"""Network tomography over the cloud/middle/client segmentation (§4.1).
+
+The paper's negative result, made executable: even with the coarse
+three-way segmentation, end-to-end RTTs cannot be decomposed into
+per-segment latencies. With cloud locations ``c_i``, middle segments
+``m_i`` and client prefixes ``p_j``, the observations
+``l_ci + l_mi + l_pj = d_ij`` leave the system rank-deficient — only the
+composites ``l_c1 + l_m1 - l_c2 - l_m2`` and ``l_ps - l_pt`` are
+identifiable (footnote 4). :class:`LinearTomography` builds the system
+and exposes the rank gap; :class:`BooleanTomography` implements the
+good/bad variant (Duffield-style smallest-failure-set inference), which
+works only under full coverage — the coverage BlameIt's hierarchical
+elimination does not need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class PathObservation:
+    """One end-to-end measurement over a segmented path.
+
+    Attributes:
+        segments: The segment identities the path traverses, in order
+            (e.g. ``("cloud:X", "middle:m1", "client:p3")``).
+        rtt_ms: Observed end-to-end RTT.
+        bad: Whether the observation breached its badness threshold
+            (used by boolean tomography).
+    """
+
+    segments: tuple[Hashable, ...]
+    rtt_ms: float
+    bad: bool = False
+
+
+class LinearTomography:
+    """Least-squares segment-latency inference, with identifiability checks."""
+
+    def __init__(self, observations: Sequence[PathObservation]) -> None:
+        if not observations:
+            raise ValueError("no observations")
+        self.observations = tuple(observations)
+        self.columns: tuple[Hashable, ...] = tuple(
+            sorted(
+                {seg for obs in self.observations for seg in obs.segments}, key=str
+            )
+        )
+        self._index = {seg: i for i, seg in enumerate(self.columns)}
+
+    def design_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (A, y) of the linear system ``A x = y``."""
+        a = np.zeros((len(self.observations), len(self.columns)))
+        y = np.empty(len(self.observations))
+        for row, obs in enumerate(self.observations):
+            for seg in obs.segments:
+                a[row, self._index[seg]] += 1.0
+            y[row] = obs.rtt_ms
+        return a, y
+
+    def rank_deficiency(self) -> int:
+        """Number of unidentifiable directions (variables minus rank).
+
+        Positive for every realistic cloud-client measurement matrix —
+        the §4.1 infeasibility.
+        """
+        a, _ = self.design_matrix()
+        rank = np.linalg.matrix_rank(a)
+        return len(self.columns) - int(rank)
+
+    def solve(self) -> dict[Hashable, float]:
+        """Minimum-norm least-squares estimate of per-segment latencies.
+
+        A solution always exists but is *not unique* whenever
+        :meth:`rank_deficiency` is positive; the returned values are one
+        member of the solution family and per-segment numbers from it are
+        not trustworthy — which is the point.
+        """
+        a, y = self.design_matrix()
+        x, *_ = np.linalg.lstsq(a, y, rcond=None)
+        return {seg: float(x[i]) for seg, i in self._index.items()}
+
+    def identifiable(self, combination: dict[Hashable, float]) -> bool:
+        """Whether a linear combination of segments is identifiable.
+
+        A combination ``w`` is identifiable iff it lies in the row space
+        of the design matrix. E.g. ``{c1: 1, m1: 1, c2: -1, m2: -1}`` is
+        identifiable while ``{c1: 1}`` alone is not.
+        """
+        a, _ = self.design_matrix()
+        w = np.zeros(len(self.columns))
+        for seg, weight in combination.items():
+            w[self._index[seg]] = weight
+        # w is in the row space iff projecting onto it leaves no residual.
+        coef, *_ = np.linalg.lstsq(a.T, w, rcond=None)
+        residual = a.T @ coef - w
+        return bool(np.allclose(residual, 0.0, atol=1e-8))
+
+
+class BooleanTomography:
+    """Smallest-failure-set inference over good/bad path observations.
+
+    A path is good only if all its segments are good; given labels for a
+    set of paths, infer the smallest set of bad segments consistent with
+    them. Exact search up to ``max_exact`` candidate segments, greedy
+    set-cover beyond. Raises on inconsistent inputs (a segment required
+    to be bad but appearing on a good path).
+    """
+
+    def __init__(self, observations: Sequence[PathObservation], max_exact: int = 16) -> None:
+        self.observations = tuple(observations)
+        self.max_exact = max_exact
+
+    def infer_bad_segments(self) -> frozenset[Hashable]:
+        """The smallest consistent set of bad segments.
+
+        Returns:
+            Frozenset of blamed segments (empty when nothing is bad).
+
+        Raises:
+            ValueError: If no consistent explanation exists (a bad path
+                whose segments all appear on good paths).
+        """
+        good_segments = {
+            seg
+            for obs in self.observations
+            if not obs.bad
+            for seg in obs.segments
+        }
+        bad_paths = [obs for obs in self.observations if obs.bad]
+        if not bad_paths:
+            return frozenset()
+        candidate_sets = []
+        for obs in bad_paths:
+            candidates = frozenset(seg for seg in obs.segments if seg not in good_segments)
+            if not candidates:
+                raise ValueError(
+                    f"no consistent explanation: every segment of bad path "
+                    f"{obs.segments} also appears on a good path"
+                )
+            candidate_sets.append(candidates)
+        universe = sorted({seg for s in candidate_sets for seg in s}, key=str)
+        if len(universe) <= self.max_exact:
+            return self._exact(universe, candidate_sets)
+        return self._greedy(candidate_sets)
+
+    @staticmethod
+    def _exact(
+        universe: list[Hashable], candidate_sets: list[frozenset[Hashable]]
+    ) -> frozenset[Hashable]:
+        for size in range(1, len(universe) + 1):
+            for combo in itertools.combinations(universe, size):
+                chosen = frozenset(combo)
+                if all(chosen & candidates for candidates in candidate_sets):
+                    return chosen
+        return frozenset(universe)
+
+    @staticmethod
+    def _greedy(candidate_sets: list[frozenset[Hashable]]) -> frozenset[Hashable]:
+        uncovered = list(candidate_sets)
+        chosen: set[Hashable] = set()
+        while uncovered:
+            counts: dict[Hashable, int] = {}
+            for candidates in uncovered:
+                for seg in candidates:
+                    counts[seg] = counts.get(seg, 0) + 1
+            best = max(counts, key=lambda s: (counts[s], str(s)))
+            chosen.add(best)
+            uncovered = [c for c in uncovered if best not in c]
+        return frozenset(chosen)

@@ -1,0 +1,156 @@
+"""Trinocular-style adaptive probing, adapted to latency monitoring.
+
+Trinocular (SIGCOMM 2013) models per-block state with Bayesian belief and
+probes adaptively: infrequently while belief is stable, in quick bursts
+when evidence contradicts the current belief. We transplant the probing
+discipline onto latency: each ⟨location, BGP path⟩ target carries a
+belief of being DEGRADED or HEALTHY; stable targets back off toward a
+maximum interval, contradicting probes trigger confirmation bursts.
+
+The paper reports BlameIt issues ~20× fewer probes than Trinocular on
+the same workload; the bench measures exactly that ratio via the shared
+probe-accounting engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cloud.traceroute import TracerouteEngine, TracerouteResult
+from repro.net.addressing import Prefix24
+from repro.net.asn import ASPath
+from repro.net.bgp import Timestamp
+
+TargetKey = tuple[str, ASPath]
+
+
+class TargetBelief(enum.Enum):
+    """Current belief about a target's latency state."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class _TargetState:
+    """Adaptive probing state of one target (internal)."""
+
+    prefix24: Prefix24
+    belief: TargetBelief = TargetBelief.HEALTHY
+    baseline_ms: float | None = None
+    interval: int = 2
+    next_probe: Timestamp = 0
+    pending_confirmations: int = 0
+    agreements: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BeliefChange:
+    """A belief transition detected by the monitor."""
+
+    key: TargetKey
+    time: Timestamp
+    belief: TargetBelief
+    rtt_ms: float
+
+
+@dataclass
+class TrinocularMonitor:
+    """Adaptive belief-driven prober.
+
+    Attributes:
+        engine: Probe source.
+        min_interval: Burst probing interval (buckets).
+        max_interval: Back-off ceiling for stable targets (Trinocular's
+            steady-state period is 11 minutes; latency drifts force a
+            denser floor here, making the monitor costlier than BlameIt
+            but far cheaper than always-on probing).
+        inflation_threshold_ms: Latency increase treated as degradation.
+        confirmations: Contradicting probes needed to flip belief.
+        backoff_after: Consecutive agreeing probes before the interval
+            doubles.
+    """
+
+    engine: TracerouteEngine
+    min_interval: int = 1
+    max_interval: int = 36  # 3 hours
+    inflation_threshold_ms: float = 20.0
+    confirmations: int = 2
+    backoff_after: int = 3
+    _states: dict[TargetKey, _TargetState] = field(default_factory=dict)
+    changes: list[BeliefChange] = field(default_factory=list)
+
+    def register_target(
+        self, location_id: str, middle: ASPath, prefix24: Prefix24
+    ) -> None:
+        """Add a target; first probe is scheduled immediately."""
+        self._states.setdefault((location_id, middle), _TargetState(prefix24=prefix24))
+
+    @property
+    def target_count(self) -> int:
+        """Registered targets."""
+        return len(self._states)
+
+    def run(self, start: Timestamp, end: Timestamp) -> list[BeliefChange]:
+        """Drive the adaptive schedule over ``[start, end)``."""
+        for state in self._states.values():
+            if state.next_probe < start:
+                state.next_probe = start
+        found: list[BeliefChange] = []
+        for time in range(start, end):
+            for key, state in sorted(self._states.items()):
+                if time < state.next_probe:
+                    continue
+                result = self.engine.issue(key[0], state.prefix24, time)
+                change = self._integrate(key, state, result, time)
+                if change is not None:
+                    found.append(change)
+                state.next_probe = time + state.interval
+        self.changes.extend(found)
+        return found
+
+    def _integrate(
+        self,
+        key: TargetKey,
+        state: _TargetState,
+        result: TracerouteResult | None,
+        time: Timestamp,
+    ) -> BeliefChange | None:
+        if result is None:
+            # Unreachable: treat as contradicting a HEALTHY belief.
+            observed_degraded = True
+            rtt = float("inf")
+        else:
+            if state.baseline_ms is None:
+                state.baseline_ms = result.end_to_end_ms
+                return None
+            rtt = result.end_to_end_ms
+            observed_degraded = (
+                rtt - state.baseline_ms >= self.inflation_threshold_ms
+            )
+        believed_degraded = state.belief is TargetBelief.DEGRADED
+        if observed_degraded == believed_degraded:
+            state.pending_confirmations = 0
+            state.agreements += 1
+            if state.agreements >= self.backoff_after:
+                state.interval = min(self.max_interval, state.interval * 2)
+                state.agreements = 0
+            if result is not None and not observed_degraded:
+                # Track slow drift of the healthy baseline.
+                state.baseline_ms = 0.9 * state.baseline_ms + 0.1 * rtt
+            return None
+        # Contradiction: burst-probe until confirmed.
+        state.agreements = 0
+        state.interval = self.min_interval
+        state.pending_confirmations += 1
+        if state.pending_confirmations < self.confirmations:
+            return None
+        state.pending_confirmations = 0
+        state.belief = (
+            TargetBelief.DEGRADED if observed_degraded else TargetBelief.HEALTHY
+        )
+        return BeliefChange(key=key, time=time, belief=state.belief, rtt_ms=rtt)

@@ -1,0 +1,288 @@
+"""Command-line interface: simulate, characterize, diagnose, validate.
+
+Usage::
+
+    python -m repro simulate   --seed 7 --regions USA Europe --days 2
+    python -m repro characterize --seed 7 --days 3
+    python -m repro diagnose   --seed 7 --days 2 --start 288 --end 576
+    python -m repro validate   --seed 11 --incidents 20
+
+Every command builds a reproducible world from its seed, so results are
+stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis.characterize import (
+    PersistenceTracker,
+    bad_fraction_by_region,
+)
+from repro.analysis.report import render_table
+from repro.analysis.validation import build_warmup_state, validate_incident
+from repro.core.blame import Blame
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.net.geo import Region
+from repro.sim.faults import SegmentKind
+from repro.sim.incidents import generate_incidents
+from repro.sim.scenario import Scenario, ScenarioParams, build_world
+
+
+def _region(value: str) -> Region:
+    for region in Region:
+        if region.value.lower() == value.lower() or region.name.lower() == value.lower():
+            return region
+    raise argparse.ArgumentTypeError(f"unknown region {value!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BlameIt (SIGCOMM 2019) reproduction: WAN latency "
+        "fault localization over a simulated Internet.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=7, help="world seed")
+        p.add_argument(
+            "--regions",
+            type=_region,
+            nargs="+",
+            default=list(Region),
+            metavar="REGION",
+            help="regions to simulate (default: all seven)",
+        )
+        p.add_argument("--days", type=int, default=2, help="simulated days")
+        p.add_argument(
+            "--locations", type=int, default=2, help="edge locations per region"
+        )
+
+    p_sim = sub.add_parser("simulate", help="build a world and print its shape")
+    common(p_sim)
+    p_sim.add_argument(
+        "--save", metavar="FILE", help="write the scenario spec as JSON"
+    )
+
+    p_char = sub.add_parser(
+        "characterize", help="the §2 measurement study over a simulated window"
+    )
+    common(p_char)
+    p_char.add_argument("--start", type=int, default=288)
+    p_char.add_argument("--end", type=int, default=None)
+
+    p_diag = sub.add_parser("diagnose", help="run the BlameIt pipeline")
+    common(p_diag)
+    p_diag.add_argument(
+        "--scenario", metavar="FILE", help="load a saved scenario spec instead"
+    )
+    p_diag.add_argument(
+        "--save-report", metavar="FILE", help="write the run report as JSON"
+    )
+    p_diag.add_argument("--start", type=int, default=288)
+    p_diag.add_argument("--end", type=int, default=None)
+    p_diag.add_argument("--budget", type=int, default=5, help="probes per window")
+    p_diag.add_argument(
+        "--reverse",
+        action="store_true",
+        help="enable the §5.1 reverse-traceroute extension",
+    )
+    p_diag.add_argument("--top", type=int, default=5, help="alerts to print")
+
+    p_val = sub.add_parser(
+        "validate", help="generate labelled incidents and score localization"
+    )
+    common(p_val)
+    p_val.add_argument("--incidents", type=int, default=10)
+    p_val.add_argument("--incident-seed", type=int, default=5)
+    return parser
+
+
+def _build_params(args) -> ScenarioParams:
+    return ScenarioParams(
+        seed=args.seed,
+        regions=tuple(args.regions),
+        duration_days=args.days,
+        locations_per_region=args.locations,
+    )
+
+
+def _cmd_simulate(args) -> int:
+    scenario = Scenario.build(_build_params(args))
+    if getattr(args, "save", None):
+        from repro.io import save_scenario
+
+        save_scenario(scenario, args.save)
+        print(f"scenario spec written to {args.save}")
+    world = scenario.world
+    rows = [
+        ["edge locations", len(world.locations)],
+        ["client /24s", len(world.population)],
+        ["client ASes", len(world.population.asns)],
+        ["BGP announcements", len(world.population.announcements())],
+        ["active users", world.population.total_users()],
+        ["⟨client, location⟩ slots", len(world.slots)],
+        ["scheduled faults", len(scenario.faults)],
+        ["route-churn events", len(scenario.reroutes)],
+        ["horizon (5-min buckets)", scenario.horizon_buckets],
+    ]
+    print(render_table(["quantity", "value"], rows, title="simulated world"))
+    by_kind: dict[SegmentKind, int] = {}
+    for fault in scenario.faults:
+        by_kind[fault.target.kind] = by_kind.get(fault.target.kind, 0) + 1
+    print(
+        "\nfault mix: "
+        + ", ".join(f"{kind}={count}" for kind, count in sorted(
+            by_kind.items(), key=lambda kv: kv[0].value
+        ))
+    )
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    scenario = Scenario.build(_build_params(args))
+    end = args.end if args.end is not None else scenario.horizon_buckets
+    buffered = [(t, scenario.generate_quartets(t)) for t in range(args.start, end)]
+    fractions = bad_fraction_by_region(
+        (q for _, q in buffered), scenario.world.targets
+    )
+    rows = []
+    for region in Region:
+        cells = ["-", "-"]
+        for index, mobile in enumerate((False, True)):
+            value = fractions.get((region, mobile))
+            if value is not None:
+                cells[index] = f"{100 * value:.2f}%"
+        rows.append([str(region), *cells])
+    print(render_table(
+        ["region", "fixed bad", "mobile bad"], rows,
+        title="bad-quartet prevalence (Fig. 2 style)",
+    ))
+    tracker = PersistenceTracker()
+    for time, quartets in buffered:
+        tracker.observe_bucket(
+            time, PersistenceTracker.bad_keys(quartets, scenario.world.targets)
+        )
+    runs = tracker.finish()
+    if runs:
+        fleeting = sum(1 for r in runs if r <= 1) / len(runs)
+        long_lived = sum(1 for r in runs if r > 24) / len(runs)
+        print(
+            f"\nbadness episodes: {len(runs)}; ≤5min: {100 * fleeting:.1f}%"
+            f" (paper >60%); >2h: {100 * long_lived:.1f}% (paper ~8%)"
+        )
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    if getattr(args, "scenario", None):
+        from repro.io import load_scenario
+
+        scenario = load_scenario(args.scenario)
+    else:
+        scenario = Scenario.build(_build_params(args))
+    end = args.end if args.end is not None else scenario.horizon_buckets
+    config = BlameItConfig(
+        history_days=1,
+        probe_budget_per_window=args.budget,
+        use_reverse_traceroutes=args.reverse,
+    )
+    pipeline = BlameItPipeline(scenario, config=config)
+    warmup_end = min(args.start, 288)
+    pipeline.warmup(0, warmup_end, stride=3)
+    report = pipeline.run(args.start, end)
+    rows = [
+        [str(blame), count, f"{100 * fraction:.1f}%"]
+        for blame, fraction in report.blame_fractions().items()
+        for count in [report.blame_counts.get(blame, 0)]
+    ]
+    print(render_table(["blame", "quartets", "share"], rows, title="blame mix"))
+    print(
+        f"\nprobes: {report.probes_on_demand} on-demand, "
+        f"{report.probes_background} background, "
+        f"{pipeline.engine.reverse_probes_issued} reverse"
+    )
+    named = [
+        item
+        for item in report.localized
+        if item.verdict is not None and item.verdict.asn is not None
+    ]
+    if named:
+        print("\nlocalized culprits:")
+        for item in named[: args.top]:
+            location_id, middle = item.issue_key
+            print(
+                f"  [{item.category}] {location_id} via "
+                f"{'-'.join(f'AS{a}' for a in middle) or 'direct'}: "
+                f"AS{item.verdict.asn} (+{item.verdict.delta_ms:.0f}ms)"
+            )
+    if report.alerts:
+        print("\ntop alerts:")
+        for alert in report.alerts[: args.top]:
+            print(
+                f"  [{alert.team}] {alert.blame} impact={alert.impact:.0f} "
+                f"culprit=AS{alert.culprit_asn} {alert.detail}"
+            )
+    if getattr(args, "save_report", None):
+        from repro.io import save_report
+
+        save_report(report, args.save_report)
+        print(f"\nreport written to {args.save_report}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    import numpy as np
+
+    world = build_world(_build_params(args))
+    state = build_warmup_state(world, days=1, stride=2)
+    specs = generate_incidents(
+        world, args.incidents, np.random.default_rng(args.incident_seed)
+    )
+    rows = []
+    matched = 0
+    for spec in specs:
+        outcome = validate_incident(world, spec, state)
+        matched += outcome.matched
+        rows.append(
+            [
+                spec.incident_id,
+                str(spec.archetype),
+                f"{spec.expected_segment}/AS{spec.expected_culprit_asn}",
+                (
+                    f"{outcome.blamed_segment}/AS{outcome.culprit_asn}"
+                    if outcome.blamed_segment
+                    else "none"
+                ),
+                outcome.matched,
+            ]
+        )
+    print(render_table(
+        ["#", "archetype", "expected", "blamed", "match"],
+        rows,
+        title="incident validation (§6.3 style)",
+    ))
+    print(f"\n{matched}/{len(specs)} incidents localized correctly")
+    return 0 if matched == len(specs) else 1
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "characterize": _cmd_characterize,
+    "diagnose": _cmd_diagnose,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Anycast client-to-location mapping and per-location route selection.
+
+Clients connect "to one of the nearest cloud locations", with BGP anycast
+directing them (§2.1, footnote 2). We model the steady-state outcome:
+each client prefix has a primary serving location (geographically nearest
+in its ring) and, for a fraction of prefixes, a secondary location that a
+minority of connections reach — which is what lets Algorithm 1 mark a
+quartet "ambiguous" when the same /24 sees good RTT at another location.
+
+Per-location egress selection: the cloud AS's candidate routes to a client
+AS are computed once (:class:`repro.net.routing.RouteComputer`); each
+location prefers candidates whose first-hop AS has presence in the
+location's region (realistic hot-potato egress), then falls back to global
+preference order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.clients import ClientPrefix
+from repro.cloud.locations import CloudLocation
+from repro.net.asn import ASPath
+from repro.net.geo import metro_distance_km
+from repro.net.routing import Route, RouteComputer
+from repro.net.topology import ASTopology
+
+
+@dataclass(frozen=True, slots=True)
+class ServingAssignment:
+    """Where a client prefix's connections land.
+
+    Attributes:
+        primary: Location receiving most connections.
+        secondary: Optional second location receiving a minority share
+            (None if the prefix is single-homed to the anycast ring).
+        secondary_share: Fraction of connections hitting the secondary.
+    """
+
+    primary: CloudLocation
+    secondary: CloudLocation | None
+    secondary_share: float = 0.0
+
+
+class AnycastMapper:
+    """Maps client prefixes to serving locations and selects egress routes."""
+
+    def __init__(
+        self,
+        locations: tuple[CloudLocation, ...],
+        topology: ASTopology,
+        route_computer: RouteComputer,
+        secondary_fraction: float = 0.25,
+        secondary_share: float = 0.2,
+    ) -> None:
+        """
+        Args:
+            locations: All edge locations.
+            topology: The AS graph (used for region-presence checks).
+            route_computer: Valley-free route computer rooted at the
+                cloud AS.
+            secondary_fraction: Fraction of prefixes that also reach a
+                secondary location.
+            secondary_share: Connection share of the secondary location.
+        """
+        if not locations:
+            raise ValueError("need at least one cloud location")
+        self.locations = locations
+        self.topology = topology
+        self.routes = route_computer
+        self.secondary_fraction = secondary_fraction
+        self.secondary_share = secondary_share
+        self._path_cache: dict[tuple[str, int, frozenset[int] | None], ASPath | None] = {}
+
+    # -- serving locations ------------------------------------------------
+
+    def assignment_for(
+        self,
+        client: ClientPrefix,
+        rng: np.random.Generator,
+        locations: tuple[CloudLocation, ...] | None = None,
+    ) -> ServingAssignment:
+        """Primary (and possibly secondary) serving location for a prefix.
+
+        The primary is the geographically nearest location; the secondary,
+        when present, is the second nearest.
+
+        Args:
+            client: The prefix to place.
+            rng: Drives the secondary-location coin flip.
+            locations: Restrict the choice to a subset (an anycast ring's
+                members, §2.1 footnote 2); all locations when None.
+
+        Raises:
+            ValueError: If an empty location subset is given.
+        """
+        pool = locations if locations is not None else self.locations
+        if not pool:
+            raise ValueError("cannot assign a client within an empty ring")
+        ranked = sorted(
+            pool,
+            key=lambda loc: (metro_distance_km(loc.metro, client.metro), loc.location_id),
+        )
+        primary = ranked[0]
+        secondary = None
+        share = 0.0
+        if len(ranked) > 1 and rng.random() < self.secondary_fraction:
+            secondary = ranked[1]
+            share = self.secondary_share
+        return ServingAssignment(primary=primary, secondary=secondary, secondary_share=share)
+
+    # -- egress route selection --------------------------------------------
+
+    def path_for(self, location: CloudLocation, client: ClientPrefix) -> ASPath | None:
+        """The AS path from ``location`` to ``client``'s prefix.
+
+        Returns None when the prefix is unreachable (withdrawn everywhere).
+        """
+        key = (location.location_id, client.asn, client.announce_to)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        candidates = self.routes.candidate_routes(client.asn, client.announce_to)
+        path = self._select_for_location(location, candidates)
+        self._path_cache[key] = path
+        return path
+
+    def alternate_path_for(
+        self, location: CloudLocation, client: ClientPrefix
+    ) -> ASPath | None:
+        """The next-best path (used when the current best is withdrawn)."""
+        candidates = self.routes.candidate_routes(client.asn, client.announce_to)
+        current = self.path_for(location, client)
+        remaining = tuple(r for r in candidates if r.path != current)
+        return self._select_for_location(location, remaining)
+
+    def invalidate(self) -> None:
+        """Drop cached selections (after topology/routing changes)."""
+        self._path_cache.clear()
+        self.routes.invalidate()
+
+    def _select_for_location(
+        self, location: CloudLocation, candidates: tuple[Route, ...]
+    ) -> ASPath | None:
+        """Rank candidates for one location: local first-hop wins ties."""
+        if not candidates:
+            return None
+
+        def rank(route: Route) -> tuple[int, int, int, int]:
+            first_hop = self.topology.as_info(route.first_hop)
+            local = any(m.region is location.region for m in first_hop.metros)
+            return (0 if local else 1, *route.sort_key())
+
+        return min(candidates, key=rank).path

@@ -1,0 +1,216 @@
+"""Client population: /24 prefixes, their ASes, metros, and active users.
+
+The paper's key population facts that the generator reproduces:
+
+* clients live in /24 blocks grouped under coarser BGP announcements;
+* active-user counts per /24 are heavy-tailed, and *large* BGP blocks
+  often hold *fewer* active clients than small ones (§3.2) — which is why
+  ranking issues by raw IP-space size misallocates the probe budget;
+* mobile (cellular) and non-mobile (broadband/enterprise) prefixes have
+  different connectivity and thresholds;
+* multi-homed ASes announce some prefixes through only one of their
+  providers, so an ⟨AS, Metro⟩ aggregate mixes several BGP paths (§4.2
+  reports only 47% of ⟨AS, Metro⟩ groups see a single consistent path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.addressing import BGPPrefix, Prefix24, Prefix24Allocator
+from repro.net.asn import ASTier, AutonomousSystem
+from repro.net.geo import Metro
+from repro.net.topology import ASTopology
+
+
+@dataclass(frozen=True, slots=True)
+class ClientPrefix:
+    """A populated client /24.
+
+    Attributes:
+        prefix24: The /24 key.
+        announcement: The covering BGP-announced prefix.
+        asn: Origin (client) AS.
+        metro: Metro where the clients sit.
+        mobile: Cellular connectivity (mobile device class).
+        users: Number of distinct active client IPs in the block.
+        announce_to: If not None, the subset of the origin AS's neighbors
+            that hear this prefix's announcement (per-prefix traffic
+            engineering by multi-homed ASes).
+    """
+
+    prefix24: Prefix24
+    announcement: BGPPrefix
+    asn: int
+    metro: Metro
+    mobile: bool
+    users: int
+    announce_to: frozenset[int] | None = None
+
+
+@dataclass(frozen=True)
+class PopulationParams:
+    """Knobs for population generation.
+
+    Attributes:
+        announcements_per_as: (min, max) BGP prefixes announced per
+            access AS.
+        announcement_lengths: Candidate prefix lengths for announcements.
+        fill_fraction: Fraction of covered /24s that actually contain
+            active clients.
+        users_lognormal_mean: Mean (of log) for the per-/24 user count.
+        users_lognormal_sigma: Sigma (of log) for the per-/24 user count.
+        mobile_as_fraction: Fraction of access ASes that are cellular
+            carriers (all their prefixes are mobile).
+        single_homed_announce_fraction: For multi-homed ASes, fraction of
+            prefixes announced via a single provider only.
+        sparse_large_blocks: If True (paper-faithful), /24s under *larger*
+            announcements draw fewer users, reproducing the "large blocks,
+            few active clients" skew.
+    """
+
+    announcements_per_as: tuple[int, int] = (1, 3)
+    announcement_lengths: tuple[int, ...] = (20, 22, 24)
+    fill_fraction: float = 0.6
+    users_lognormal_mean: float = 3.5
+    users_lognormal_sigma: float = 1.1
+    mobile_as_fraction: float = 0.25
+    single_homed_announce_fraction: float = 0.5
+    sparse_large_blocks: bool = True
+
+
+class ClientPopulation:
+    """The set of populated client /24s, with lookup indexes."""
+
+    def __init__(self, prefixes: tuple[ClientPrefix, ...]) -> None:
+        self.prefixes = prefixes
+        self._by_key: dict[Prefix24, ClientPrefix] = {p.prefix24: p for p in prefixes}
+        self._by_asn: dict[int, list[ClientPrefix]] = {}
+        for prefix in prefixes:
+            self._by_asn.setdefault(prefix.asn, []).append(prefix)
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def __iter__(self):
+        return iter(self.prefixes)
+
+    def get(self, prefix24: Prefix24) -> ClientPrefix:
+        """The record for a /24 key.
+
+        Raises:
+            KeyError: If the /24 is not populated.
+        """
+        return self._by_key[prefix24]
+
+    def in_as(self, asn: int) -> tuple[ClientPrefix, ...]:
+        """All populated /24s originated by ``asn``."""
+        return tuple(self._by_asn.get(asn, ()))
+
+    @property
+    def asns(self) -> tuple[int, ...]:
+        """Origin ASNs present in the population, sorted."""
+        return tuple(sorted(self._by_asn))
+
+    def total_users(self) -> int:
+        """Sum of active users across all /24s."""
+        return sum(p.users for p in self.prefixes)
+
+    def announcements(self) -> tuple[BGPPrefix, ...]:
+        """Distinct BGP announcements, sorted."""
+        return tuple(sorted({p.announcement for p in self.prefixes}))
+
+
+@dataclass
+class _ASPlan:
+    """Per-AS generation plan (internal)."""
+
+    asys: AutonomousSystem
+    mobile: bool
+    providers: tuple[int, ...] = field(default=())
+
+
+def generate_population(
+    topology: ASTopology,
+    params: PopulationParams,
+    rng: np.random.Generator,
+) -> ClientPopulation:
+    """Populate client /24s under every access AS in the topology.
+
+    Args:
+        topology: AS graph whose access-tier ASes originate the prefixes.
+        params: Generation knobs.
+        rng: Seeded random generator.
+
+    Returns:
+        A :class:`ClientPopulation`.
+    """
+    allocator = Prefix24Allocator()
+    prefixes: list[ClientPrefix] = []
+    for asys in topology.ases_by_tier(ASTier.ACCESS):
+        plan = _ASPlan(
+            asys=asys,
+            mobile=rng.random() < params.mobile_as_fraction,
+            providers=topology.providers_of(asys.asn),
+        )
+        prefixes.extend(_populate_as(plan, allocator, params, rng))
+    return ClientPopulation(tuple(prefixes))
+
+
+def _populate_as(
+    plan: _ASPlan,
+    allocator: Prefix24Allocator,
+    params: PopulationParams,
+    rng: np.random.Generator,
+) -> list[ClientPrefix]:
+    """Generate the populated /24s of one access AS."""
+    lo, hi = params.announcements_per_as
+    n_announcements = int(rng.integers(lo, hi + 1))
+    result: list[ClientPrefix] = []
+    for _ in range(n_announcements):
+        length = int(rng.choice(params.announcement_lengths))
+        block = allocator.allocate_block(length)
+        announce_to = _announcement_scope(plan, params, rng)
+        covered = list(block.prefix24s())
+        n_fill = max(1, int(round(params.fill_fraction * len(covered))))
+        chosen = rng.choice(len(covered), size=n_fill, replace=False)
+        # Paper-faithful skew: /24s inside big announcements are sparse.
+        sparsity = 1.0
+        if params.sparse_large_blocks and length < 24:
+            sparsity = 1.0 / (1 << (24 - length)) ** 0.5
+        for index in sorted(int(i) for i in chosen):
+            users = int(
+                np.ceil(
+                    sparsity
+                    * rng.lognormal(
+                        params.users_lognormal_mean, params.users_lognormal_sigma
+                    )
+                )
+            )
+            metro = plan.asys.metros[int(rng.integers(0, len(plan.asys.metros)))]
+            result.append(
+                ClientPrefix(
+                    prefix24=covered[index],
+                    announcement=block,
+                    asn=plan.asys.asn,
+                    metro=metro,
+                    mobile=plan.mobile,
+                    users=max(1, users),
+                    announce_to=announce_to,
+                )
+            )
+    return result
+
+
+def _announcement_scope(
+    plan: _ASPlan, params: PopulationParams, rng: np.random.Generator
+) -> frozenset[int] | None:
+    """Pick which providers hear this announcement (None = all neighbors)."""
+    if len(plan.providers) < 2:
+        return None
+    if rng.random() >= params.single_homed_announce_fraction:
+        return None
+    provider = int(plan.providers[int(rng.integers(0, len(plan.providers)))])
+    return frozenset({provider})

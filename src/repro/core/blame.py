@@ -1,0 +1,62 @@
+"""Blame categories and results of Algorithm 1."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.quartet import Quartet
+from repro.sim.faults import SegmentKind
+
+
+class Blame(enum.Enum):
+    """Output categories of the passive phase (Algorithm 1)."""
+
+    CLOUD = "cloud"
+    MIDDLE = "middle"
+    CLIENT = "client"
+    AMBIGUOUS = "ambiguous"
+    INSUFFICIENT = "insufficient"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def segment(self) -> SegmentKind | None:
+        """The corresponding path segment, if the blame names one."""
+        mapping = {
+            Blame.CLOUD: SegmentKind.CLOUD,
+            Blame.MIDDLE: SegmentKind.MIDDLE,
+            Blame.CLIENT: SegmentKind.CLIENT,
+        }
+        return mapping.get(self)
+
+
+@dataclass(frozen=True, slots=True)
+class BlameResult:
+    """Coarse blame assigned to one bad quartet.
+
+    Attributes:
+        quartet: The bad quartet being explained.
+        blame: Assigned category.
+        cloud_bad_fraction: Fraction of the location's quartets above its
+            expected RTT (diagnostic detail for tickets).
+        middle_bad_fraction: Same for the quartet's BGP path, when it was
+            evaluated (None when assignment stopped at the cloud step).
+    """
+
+    quartet: Quartet
+    blame: Blame
+    cloud_bad_fraction: float | None = None
+    middle_bad_fraction: float | None = None
+
+    @property
+    def blamed_asn(self) -> int | None:
+        """The faulty AS when the blame directly names one.
+
+        Cloud blames name the cloud AS (resolved by the pipeline), client
+        blames name the client AS; middle blames need the active phase.
+        """
+        if self.blame is Blame.CLIENT:
+            return self.quartet.client_asn
+        return None

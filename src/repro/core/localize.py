@@ -1,0 +1,86 @@
+"""AS-level localization by comparing traceroutes (§5.2).
+
+The worked example from the paper: the path is X - m1 - m2 - c with
+background cumulative RTTs (4, 6, 8, 9) ms; during the incident the
+on-demand traceroute reads (4, 60, 62, 64) ms. m1's individual
+contribution rose from 2 ms to 56 ms — m1 is the culprit.
+
+When the baseline was taken over a *different* path (stale baseline after
+unobserved churn), per-AS alignment breaks down: ASes absent from the
+baseline get their full current contribution counted as "increase", which
+is how stale baselines produce wrong verdicts — the accuracy loss Figure
+13 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.traceroute import TracerouteResult
+
+#: Contribution increases below this are treated as noise.
+DEFAULT_MIN_DELTA_MS = 5.0
+
+
+@dataclass(frozen=True, slots=True)
+class CulpritVerdict:
+    """Outcome of one traceroute comparison.
+
+    Attributes:
+        asn: The blamed AS, or None when no AS's contribution increased
+            meaningfully (e.g. the issue ended before the probe landed).
+        delta_ms: The blamed AS's contribution increase.
+        paths_match: Whether baseline and current AS paths were identical
+            (False signals a potentially unreliable comparison).
+        baseline_age: Buckets between baseline and on-demand probes.
+    """
+
+    asn: int | None
+    delta_ms: float
+    paths_match: bool
+    baseline_age: int
+
+    @property
+    def confident(self) -> bool:
+        """Whether the verdict rests on an aligned, fresh comparison."""
+        return self.asn is not None and self.paths_match
+
+
+def localize_culprit(
+    baseline: TracerouteResult,
+    current: TracerouteResult,
+    min_delta_ms: float = DEFAULT_MIN_DELTA_MS,
+) -> CulpritVerdict:
+    """Name the AS whose latency contribution increased the most.
+
+    Args:
+        baseline: Background ("before") traceroute.
+        current: On-demand ("during") traceroute.
+        min_delta_ms: Noise floor; the verdict is None below it.
+
+    Returns:
+        A :class:`CulpritVerdict`. When the baseline was taken over a
+        different AS path, ASes missing from the baseline are compared
+        against a zero contribution (their full current latency counts as
+        the increase) and ``paths_match`` is False. The baseline may
+        target a *different /24 sharing the BGP path* — background probes
+        cover paths, not prefixes — in which case the per-AS middle
+        comparison is still sound and only the client segment is
+        approximate.
+
+    Raises:
+        ValueError: If the traceroutes were issued from different
+            locations (never comparable).
+    """
+    if baseline.location_id != current.location_id:
+        raise ValueError("baseline and current traceroutes issued from different locations")
+    before = baseline.contribution_ms()
+    after = current.contribution_ms()
+    deltas = {asn: ms - before.get(asn, 0.0) for asn, ms in after.items()}
+    culprit = max(deltas, key=lambda a: (deltas[a], -a))
+    delta = deltas[culprit]
+    paths_match = baseline.path == current.path
+    age = current.time - baseline.time
+    if delta < min_delta_ms:
+        return CulpritVerdict(None, delta, paths_match, age)
+    return CulpritVerdict(culprit, delta, paths_match, age)

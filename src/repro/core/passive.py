@@ -1,0 +1,186 @@
+"""Algorithm 1: coarse-grained fault localization from passive RTTs.
+
+Hierarchical elimination over the three-way path segmentation:
+
+1. *Cloud*: if ≥ τ of the IP-/24s connecting to a cloud location see RTTs
+   above the location's learned expected RTT, blame the cloud (Insight-2:
+   a small failure set is likelier than many independent ones).
+2. *Middle*: otherwise, if ≥ τ of the quartets sharing the bad quartet's
+   BGP path are above that path's expected RTT, blame the middle segment.
+3. *Client*: otherwise blame the client — unless the same /24 saw good
+   RTT to a different cloud location in the same window, which makes the
+   evidence contradictory ("ambiguous").
+
+At each aggregate step, fewer than ``min_aggregate_quartets`` quartets
+yields "insufficient". Bad-fractions are deliberately *unweighted* by
+sample counts so a few high-volume healthy /24s cannot mask widespread
+badness (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.locations import RTTTargets
+from repro.core.blame import Blame, BlameResult
+from repro.core.config import BlameItConfig
+from repro.core.quartet import Quartet
+from repro.core.thresholds import ExpectedRTTTable
+from repro.net.asn import ASPath
+
+
+@dataclass
+class _AggregateStats:
+    """Counts for one aggregate (a cloud location or a BGP path)."""
+
+    total: int = 0
+    bad: int = 0
+    judged: int = 0  # quartets with a known expected RTT
+
+    @property
+    def bad_fraction(self) -> float | None:
+        """Fraction of judged quartets above expected RTT, None if none."""
+        if self.judged == 0:
+            return None
+        return self.bad / self.judged
+
+
+class PassiveLocalizer:
+    """Runs Algorithm 1 over the quartets of one time window."""
+
+    def __init__(self, config: BlameItConfig, targets: RTTTargets) -> None:
+        self.config = config
+        self.targets = targets
+
+    # -- public API -----------------------------------------------------
+
+    def assign(
+        self, quartets: list[Quartet], table: ExpectedRTTTable
+    ) -> list[BlameResult]:
+        """Blame every bad quartet in a single 5-minute bucket.
+
+        Args:
+            quartets: All quartets of the bucket (good and bad); aggregate
+                statistics need the good ones too.
+            table: Learned expected RTTs.
+
+        Returns:
+            One :class:`BlameResult` per bad quartet (quartets passing the
+            sample gate whose RTT breaches the region target).
+        """
+        gated = [
+            q for q in quartets if q.n_samples >= self.config.min_quartet_samples
+        ]
+        cloud_stats = self._cloud_stats(gated, table)
+        middle_stats = self._middle_stats(gated, table)
+        good_elsewhere = self._good_elsewhere_index(gated)
+        results: list[BlameResult] = []
+        for quartet in gated:
+            if not self.is_bad(quartet):
+                continue
+            results.append(
+                self._assign_one(quartet, cloud_stats, middle_stats, good_elsewhere)
+            )
+        return results
+
+    def assign_window(
+        self, quartets: list[Quartet], table: ExpectedRTTTable
+    ) -> list[BlameResult]:
+        """Blame bad quartets across a multi-bucket window.
+
+        Groups by bucket so aggregate statistics stay per-bucket, matching
+        the 5-minute quartet definition even though the production job
+        runs every 15 minutes (§6.1).
+        """
+        by_bucket: dict[int, list[Quartet]] = {}
+        for quartet in quartets:
+            by_bucket.setdefault(quartet.time, []).append(quartet)
+        results: list[BlameResult] = []
+        for time in sorted(by_bucket):
+            results.extend(self.assign(by_bucket[time], table))
+        return results
+
+    def is_bad(self, quartet: Quartet) -> bool:
+        """Whether a quartet's average RTT breaches its region target."""
+        return quartet.mean_rtt_ms >= self.targets.target_ms(
+            quartet.region, quartet.mobile
+        )
+
+    # -- aggregate statistics --------------------------------------------
+
+    def _cloud_stats(
+        self, quartets: list[Quartet], table: ExpectedRTTTable
+    ) -> dict[str, _AggregateStats]:
+        stats: dict[str, _AggregateStats] = {}
+        for quartet in quartets:
+            entry = stats.setdefault(quartet.location_id, _AggregateStats())
+            entry.total += 1
+            expected = table.expected_cloud(quartet.location_id, quartet.mobile)
+            if expected is None:
+                continue
+            entry.judged += 1
+            if quartet.mean_rtt_ms > expected:
+                entry.bad += 1
+        return stats
+
+    def _middle_stats(
+        self, quartets: list[Quartet], table: ExpectedRTTTable
+    ) -> dict[ASPath, _AggregateStats]:
+        stats: dict[ASPath, _AggregateStats] = {}
+        for quartet in quartets:
+            entry = stats.setdefault(quartet.middle, _AggregateStats())
+            entry.total += 1
+            expected = table.expected_middle(quartet.middle, quartet.mobile)
+            if expected is None:
+                continue
+            entry.judged += 1
+            if quartet.mean_rtt_ms > expected:
+                entry.bad += 1
+        return stats
+
+    def _good_elsewhere_index(
+        self, quartets: list[Quartet]
+    ) -> dict[tuple[int, bool], set[str]]:
+        """Locations where each (prefix24, mobile) saw *good* RTT."""
+        index: dict[tuple[int, bool], set[str]] = {}
+        slack = self.config.good_rtt_slack_ms
+        for quartet in quartets:
+            target = self.targets.target_ms(quartet.region, quartet.mobile)
+            if quartet.mean_rtt_ms < target - slack:
+                index.setdefault((quartet.prefix24, quartet.mobile), set()).add(
+                    quartet.location_id
+                )
+        return index
+
+    # -- the decision chain ------------------------------------------------
+
+    def _assign_one(
+        self,
+        quartet: Quartet,
+        cloud_stats: dict[str, _AggregateStats],
+        middle_stats: dict[ASPath, _AggregateStats],
+        good_elsewhere: dict[tuple[int, bool], set[str]],
+    ) -> BlameResult:
+        config = self.config
+        cloud = cloud_stats[quartet.location_id]
+        cloud_fraction = cloud.bad_fraction
+        if cloud.total <= config.min_aggregate_quartets or cloud_fraction is None:
+            return BlameResult(quartet, Blame.INSUFFICIENT, cloud_fraction, None)
+        if cloud_fraction >= config.tau:
+            return BlameResult(quartet, Blame.CLOUD, cloud_fraction, None)
+
+        middle = middle_stats[quartet.middle]
+        middle_fraction = middle.bad_fraction
+        if middle.total <= config.min_aggregate_quartets or middle_fraction is None:
+            return BlameResult(
+                quartet, Blame.INSUFFICIENT, cloud_fraction, middle_fraction
+            )
+        if middle_fraction >= config.tau:
+            return BlameResult(quartet, Blame.MIDDLE, cloud_fraction, middle_fraction)
+
+        good_locations = good_elsewhere.get((quartet.prefix24, quartet.mobile), set())
+        if good_locations - {quartet.location_id}:
+            return BlameResult(
+                quartet, Blame.AMBIGUOUS, cloud_fraction, middle_fraction
+            )
+        return BlameResult(quartet, Blame.CLIENT, cloud_fraction, middle_fraction)

@@ -1,0 +1,611 @@
+"""The end-to-end BlameIt workflow (Figure 7).
+
+Per 5-minute bucket: quartets stream in from the collector, feed the
+expected-RTT learner and the client-count predictor, and register
+background-probe targets; the BGP listener's churn events trigger
+baseline refreshes. Every run interval (15 minutes in production) the
+passive localizer assigns coarse blames; middle issues are tracked across
+buckets, scored by predicted client-time product, probed within budget,
+and localized to a culprit AS by baseline comparison. Everything rolls up
+into impact-prioritized alerts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.traceroute import TracerouteEngine
+from repro.core.active import (
+    IssueTracker,
+    MiddleIssue,
+    OnDemandProber,
+    ProbeBudget,
+    ProbedIssue,
+)
+from repro.core.alerts import Alert, AlertManager
+from repro.core.background import BackgroundProber, BaselineStore, ReverseBaselineStore
+from repro.core.blame import Blame, BlameResult
+from repro.core.config import BlameItConfig
+from repro.core.localize import CulpritVerdict, localize_culprit
+from repro.core.passive import PassiveLocalizer
+from repro.core.reverse import localize_bidirectional
+from repro.core.prediction import ClientCountPredictor, DurationPredictor
+from repro.core.quartet import Quartet
+from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
+from repro.net.asn import ASPath, middle_asns
+from repro.net.bgp import Timestamp
+from repro.sim.scenario import BUCKETS_PER_DAY, Scenario
+
+
+@dataclass
+class SegmentIssue:
+    """A run of cloud- or client-blamed buckets for one key.
+
+    Cloud issues are keyed by location, client issues by client AS —
+    the blame at those granularities already names the faulty AS.
+    """
+
+    blame: Blame
+    key: str | int
+    location_id: str
+    culprit_asn: int | None
+    first_seen: Timestamp
+    last_seen: Timestamp
+    impact: float = 0.0
+    votes_for: int = 0
+    votes_total: int = 0
+    sample_prefix: int | None = None
+    probed: bool = False
+
+    @property
+    def duration(self) -> int:
+        """Observed duration in buckets."""
+        return self.last_seen - self.first_seen + 1
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of co-located blames agreeing with this category."""
+        if self.votes_total == 0:
+            return 0.0
+        return self.votes_for / self.votes_total
+
+
+class _KeyedIssueTracker:
+    """Stitches cloud/client blames into :class:`SegmentIssue` runs."""
+
+    def __init__(self, blame: Blame, gap_buckets: int = 1) -> None:
+        self.blame = blame
+        self.gap_buckets = gap_buckets
+        self.open: dict[str | int, SegmentIssue] = {}
+        self.closed: list[SegmentIssue] = []
+
+    @staticmethod
+    def _key_and_culprit(
+        blame: Blame, result: BlameResult, cloud_asn: int
+    ) -> tuple[str | int, int]:
+        quartet = result.quartet
+        if blame is Blame.CLOUD:
+            return quartet.location_id, cloud_asn
+        return quartet.client_asn, quartet.client_asn
+
+    def update(
+        self, time: Timestamp, results: list[BlameResult], cloud_asn: int
+    ) -> list[SegmentIssue]:
+        """Fold one bucket's results; returns issues that just closed."""
+        votes_total: Counter = Counter()
+        for result in results:
+            key, _ = self._key_and_culprit(self.blame, result, cloud_asn)
+            votes_total[key] += 1
+        for result in results:
+            if result.blame is not self.blame:
+                continue
+            key, culprit = self._key_and_culprit(self.blame, result, cloud_asn)
+            issue = self.open.get(key)
+            if issue is None or time - issue.last_seen > self.gap_buckets + 1:
+                if issue is not None:
+                    self.closed.append(issue)
+                issue = SegmentIssue(
+                    blame=self.blame,
+                    key=key,
+                    location_id=result.quartet.location_id,
+                    culprit_asn=culprit,
+                    first_seen=time,
+                    last_seen=time,
+                )
+                self.open[key] = issue
+            issue.last_seen = max(issue.last_seen, time)
+            issue.impact += result.quartet.users
+            issue.votes_for += 1
+            if issue.sample_prefix is None or result.quartet.prefix24 < issue.sample_prefix:
+                issue.sample_prefix = result.quartet.prefix24
+                issue.location_id = result.quartet.location_id
+        for key, issue in list(self.open.items()):
+            if key in votes_total:
+                issue.votes_total += votes_total[key]
+            if time - issue.last_seen > self.gap_buckets:
+                del self.open[key]
+                self.closed.append(issue)
+        return self.closed
+
+    def close_all(self) -> None:
+        """Close every open run (end of a pipeline run)."""
+        self.closed.extend(self.open.values())
+        self.open.clear()
+
+
+@dataclass(frozen=True, slots=True)
+class LocalizedIssue:
+    """An issue plus the verdict of its on-demand probe.
+
+    ``category`` is ``"middle"`` for the standard §5 flow and
+    ``"client-verify"`` for the reverse-traceroute extension's
+    verification of client blames (a reverse-path middle fault makes a
+    whole client AS look bad to the passive phase).
+    """
+
+    issue_key: tuple[str, ASPath]
+    prefix24: int
+    probed_at: Timestamp
+    priority: float
+    verdict: CulpritVerdict | None
+    category: str = "middle"
+
+
+@dataclass
+class PipelineReport:
+    """Everything a pipeline run produced.
+
+    Attributes:
+        start, end: Bucket range processed.
+        total_quartets: Quartets seen (pre sample-gate).
+        bad_quartets: Quartets that breached their region target.
+        blame_counts: Overall category counts.
+        blame_counts_by_day: Per-day category counts (Figure 8).
+        closed_middle: Completed middle issues.
+        closed_cloud, closed_client: Completed cloud/client issue runs.
+        localized: Probe verdicts for middle issues.
+        probes_on_demand: On-demand traceroutes issued.
+        probes_background: Periodic + churn background traceroutes.
+        probes_churn: The churn-triggered subset.
+        probes_bootstrap: Initial baseline-sweep probes.
+        alerts: Emitted top-k tickets.
+    """
+
+    start: Timestamp
+    end: Timestamp
+    total_quartets: int = 0
+    bad_quartets: int = 0
+    blame_counts: Counter = field(default_factory=Counter)
+    blame_counts_by_day: dict[int, Counter] = field(default_factory=dict)
+    closed_middle: list[MiddleIssue] = field(default_factory=list)
+    closed_cloud: list[SegmentIssue] = field(default_factory=list)
+    closed_client: list[SegmentIssue] = field(default_factory=list)
+    localized: list[LocalizedIssue] = field(default_factory=list)
+    probes_on_demand: int = 0
+    probes_background: int = 0
+    probes_churn: int = 0
+    probes_bootstrap: int = 0
+    alerts: list[Alert] = field(default_factory=list)
+
+    def blame_fractions(self) -> dict[Blame, float]:
+        """Category shares among blamed quartets (sums to 1)."""
+        total = sum(self.blame_counts.values())
+        if total == 0:
+            return {blame: 0.0 for blame in Blame}
+        return {
+            blame: self.blame_counts.get(blame, 0) / total for blame in Blame
+        }
+
+    def durations_by_category(self) -> dict[Blame, list[int]]:
+        """Issue durations split by blame category (Figure 10)."""
+        return {
+            Blame.CLOUD: [issue.duration for issue in self.closed_cloud],
+            Blame.MIDDLE: [issue.duration for issue in self.closed_middle],
+            Blame.CLIENT: [issue.duration for issue in self.closed_client],
+        }
+
+    @property
+    def probes_total(self) -> int:
+        """All traceroutes the run issued."""
+        return self.probes_on_demand + self.probes_background + self.probes_bootstrap
+
+
+class BlameItPipeline:
+    """Drives the full two-phase workflow over a scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: BlameItConfig | None = None,
+        learner: ExpectedRTTLearner | None = None,
+        duration_predictor: DurationPredictor | None = None,
+        fixed_table: "ExpectedRTTTable | None" = None,
+        alert_top_k: int = 10,
+        seed: int = 1234,
+    ) -> None:
+        """
+        Args:
+            scenario: The world under observation (also the path oracle
+                for the traceroute engine).
+            config: Tunables; paper defaults when None.
+            learner: Optionally pre-trained expected-RTT learner (re-use
+                one across scenarios sharing a world).
+            duration_predictor: Optionally pre-seeded duration history.
+            fixed_table: Use this expected-RTT table verbatim instead of
+                learning (lets many scenarios over one world share a
+                single training pass, e.g. the 88-incident validation).
+            alert_top_k: Tickets emitted.
+            seed: Seed for probe measurement noise.
+        """
+        self.scenario = scenario
+        self.config = config or BlameItConfig()
+        self.fixed_table = fixed_table
+        self.learner = learner or ExpectedRTTLearner(self.config.history_days)
+        self.passive = PassiveLocalizer(self.config, scenario.world.targets)
+        self.engine = TracerouteEngine(scenario, np.random.default_rng(seed))
+        self.baselines = BaselineStore()
+        self.reverse_baselines = (
+            ReverseBaselineStore() if self.config.use_reverse_traceroutes else None
+        )
+        self.background = BackgroundProber(
+            engine=self.engine,
+            store=self.baselines,
+            interval_buckets=self.config.background_interval_buckets,
+            churn_triggered=self.config.churn_triggered_probes,
+            reverse_store=self.reverse_baselines,
+        )
+        self.duration_predictor = duration_predictor or DurationPredictor()
+        self.client_predictor = ClientCountPredictor(self.config.client_history_days)
+        self.tracker = IssueTracker()
+        self.on_demand = OnDemandProber(
+            engine=self.engine,
+            duration_predictor=self.duration_predictor,
+            client_predictor=self.client_predictor,
+            budget=ProbeBudget(self.config.probe_budget_per_window),
+        )
+        self.cloud_tracker = _KeyedIssueTracker(Blame.CLOUD)
+        self.client_tracker = _KeyedIssueTracker(Blame.CLIENT)
+        self.alert_top_k = alert_top_k
+        self._recorded_middle: set[int] = set()
+
+    # -- warmup ------------------------------------------------------------
+
+    def warmup(
+        self,
+        start: Timestamp,
+        end: Timestamp,
+        stride: int = 6,
+        scenario: Scenario | None = None,
+    ) -> None:
+        """Train the learner and predictors on historical buckets.
+
+        Args:
+            start, end: Historical bucket range (typically the 14 days
+                before the measured run).
+            stride: Sample every ``stride``-th bucket — medians and
+                client-count averages are insensitive to subsampling.
+            scenario: History source; defaults to the live scenario.
+                Incident benches pass a fault-free sibling scenario so 88
+                runs can share one trained learner.
+        """
+        source = scenario or self.scenario
+        for time in range(start, end, max(1, stride)):
+            quartets = source.generate_quartets(time)
+            self.learner.observe_all(quartets)
+            self._observe_clients(time, quartets)
+            for quartet in quartets:
+                self.background.register_target(
+                    quartet.location_id, quartet.middle, quartet.prefix24
+                )
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self, start: Timestamp, end: Timestamp) -> PipelineReport:
+        """Process buckets ``[start, end)`` and report.
+
+        A bootstrap probe sweep seeds baselines for all registered
+        targets at ``start`` (production would have these from the
+        steady-state background schedule).
+        """
+        report = PipelineReport(start=start, end=end)
+        self._bootstrap_baselines(start, report)
+        window: list[Quartet] = []
+        table = self.fixed_table or self.learner.table()
+        table_day = start // BUCKETS_PER_DAY
+        for time in range(start, end):
+            day = time // BUCKETS_PER_DAY
+            if self.fixed_table is None and day != table_day:
+                table = self.learner.table(as_of_day=day)
+                table_day = day
+            quartets = self.scenario.generate_quartets(time)
+            report.total_quartets += len(quartets)
+            if self.fixed_table is None:
+                self.learner.observe_all(quartets)
+            self._observe_clients(time, quartets)
+            for quartet in quartets:
+                if self.background.register_target(
+                    quartet.location_id, quartet.middle, quartet.prefix24
+                ):
+                    self.background.seed_target(
+                        quartet.location_id, quartet.middle, quartet.prefix24, time
+                    )
+            self.background.run_bucket(time)
+            for update in self.scenario.updates_between(time, time + 1):
+                self.background.on_bgp_update(update)
+            window.extend(quartets)
+            if (time + 1 - start) % self.config.run_interval_buckets == 0:
+                self._process_window(time, window, table, report)
+                window = []
+        if window:
+            self._process_window(end - 1, window, table, report)
+        self._finalize(report)
+        return report
+
+    # -- internals -----------------------------------------------------------
+
+    def _bootstrap_baselines(self, start: Timestamp, report: PipelineReport) -> None:
+        before = self.engine.probes_issued
+        for (location_id, middle), prefix in sorted(
+            self.background._targets.items()  # noqa: SLF001 - same package
+        ):
+            result = self.engine.issue(location_id, prefix, max(0, start - 1))
+            if result is not None:
+                self.baselines.put(result)
+            if self.reverse_baselines is not None:
+                reverse = self.engine.issue_reverse(
+                    location_id, prefix, max(0, start - 1)
+                )
+                if reverse is not None:
+                    self.reverse_baselines.put(reverse)
+        if self.reverse_baselines is not None:
+            self._bootstrap_reverse_baselines(start)
+        report.probes_bootstrap = self.engine.probes_issued - before
+
+    def _bootstrap_reverse_baselines(self, start: Timestamp) -> None:
+        """Seed one reverse baseline per client AS.
+
+        Reverse paths depend only on the client AS, so one rich-client
+        measurement per AS gives every later bidirectional comparison a
+        baseline — regardless of which of the AS's /24s the on-demand
+        probe targets.
+        """
+        scenario = self.scenario
+        world = scenario.world
+        for asn in world.population.asns:
+            client = world.population.in_as(asn)[0]
+            location = world.assignments[client.prefix24].primary
+            reverse = self.engine.issue_reverse(
+                location.location_id, client.prefix24, max(0, start - 1)
+            )
+            if reverse is not None:
+                self.reverse_baselines.put(reverse)
+
+    def _observe_clients(self, time: Timestamp, quartets: list[Quartet]) -> None:
+        """Feed per-path active-client counts to the predictor."""
+        per_path: Counter = Counter()
+        for quartet in quartets:
+            per_path[(quartet.location_id, quartet.middle)] += quartet.users
+        for key, users in per_path.items():
+            self.client_predictor.observe(key, time, users)
+
+    def _process_window(
+        self,
+        now: Timestamp,
+        window: list[Quartet],
+        table,
+        report: PipelineReport,
+    ) -> None:
+        results = self.passive.assign_window(window, table)
+        report.bad_quartets += len(results)
+        day = now // BUCKETS_PER_DAY
+        day_counter = report.blame_counts_by_day.setdefault(day, Counter())
+        by_bucket: dict[Timestamp, list[BlameResult]] = {}
+        for result in results:
+            report.blame_counts[result.blame] += 1
+            day_counter[result.blame] += 1
+            by_bucket.setdefault(result.quartet.time, []).append(result)
+        open_issues: list[MiddleIssue] = []
+        cloud_asn = self.scenario.world.cloud_asn
+        for time in sorted(by_bucket):
+            bucket_results = by_bucket[time]
+            open_issues, closed = self.tracker.update(time, bucket_results)
+            self._record_closed_middle(closed, report)
+            self.cloud_tracker.update(time, bucket_results, cloud_asn)
+            self.client_tracker.update(time, bucket_results, cloud_asn)
+        probed = self.on_demand.probe_window(now, open_issues)
+        for probe in probed:
+            report.localized.append(self._localize(probe))
+        if self.reverse_baselines is not None:
+            self._verify_client_issues(now, report)
+
+    def _localize(self, probe: ProbedIssue) -> LocalizedIssue:
+        """Compare the on-demand probe against pre-issue baselines.
+
+        The newest baseline is preferred, but a baseline measured during
+        an undetected fault (e.g. a churn-triggered probe racing the
+        fault's onset) shows no inflation; older candidates are consulted
+        and the most incriminating confident verdict wins.
+        """
+        verdict = None
+        if probe.result is not None:
+            location_id, middle = probe.issue_key
+            reverse_pair = self._reverse_pair(probe)
+            candidates = self.baselines.get_candidates(
+                location_id, probe.prefix24, middle, before=probe.issue_first_seen
+            )
+            for baseline in candidates[:1] + candidates[-1:]:
+                if reverse_pair is not None:
+                    candidate = localize_bidirectional(
+                        baseline, probe.result, *reverse_pair
+                    ).verdict
+                else:
+                    candidate = localize_culprit(baseline, probe.result)
+                if verdict is None or self._verdict_rank(candidate) > self._verdict_rank(
+                    verdict
+                ):
+                    verdict = candidate
+        return LocalizedIssue(
+            issue_key=probe.issue_key,
+            prefix24=probe.prefix24,
+            probed_at=probe.time,
+            priority=probe.priority,
+            verdict=verdict,
+        )
+
+    def _verify_client_issues(self, now: Timestamp, report: PipelineReport) -> None:
+        """Reverse-verify open client blames (§5.1 extension).
+
+        A fault on the client's upstream *reverse* path makes every /24
+        of the client AS look bad, which the passive phase attributes to
+        the client. A rich-client reverse traceroute either confirms the
+        client hypothesis or exposes the reverse-middle AS actually
+        responsible.
+        """
+        for issue in list(self.client_tracker.open.values()):
+            if issue.probed or issue.sample_prefix is None:
+                continue
+            if not self.on_demand.budget.try_consume(issue.location_id):
+                continue
+            issue.probed = True
+            forward_current = self.engine.issue(
+                issue.location_id, issue.sample_prefix, now
+            )
+            self.on_demand.probes_issued += 1
+            if forward_current is None:
+                continue
+            probe = ProbedIssue(
+                issue_key=(issue.location_id, middle_asns(forward_current.path)),
+                prefix24=issue.sample_prefix,
+                time=now,
+                result=forward_current,
+                priority=issue.impact,
+                issue_first_seen=issue.first_seen,
+            )
+            localized = self._localize(probe)
+            report.localized.append(
+                dataclasses.replace(localized, category="client-verify")
+            )
+
+    def _reverse_pair(self, probe: ProbedIssue):
+        """(reverse baseline, reverse current) when the extension is on."""
+        if self.reverse_baselines is None or probe.result is None:
+            return None
+        location_id, _ = probe.issue_key
+        current = self.engine.issue_reverse(location_id, probe.prefix24, probe.time)
+        if current is None:
+            return None
+        # Reverse baselines are location-agnostic; normalize the current
+        # measurement so the per-AS comparison accepts the pair.
+        current = dataclasses.replace(
+            current, location_id=ReverseBaselineStore._ANY_LOCATION
+        )
+        baseline = self.reverse_baselines.get(
+            location_id,
+            probe.prefix24,
+            current.path,  # reverse store keys on the full path
+            before=probe.issue_first_seen,
+        )
+        if baseline is None:
+            return None
+        return baseline, current
+
+    @staticmethod
+    def _verdict_rank(verdict: CulpritVerdict) -> tuple[bool, float]:
+        """Order verdicts: named culprit first, then effective increase.
+
+        A verdict built on a mismatched (stale) baseline is discounted
+        rather than disqualified: a large increase seen against an old
+        baseline still outweighs a small increase against a fresh one
+        (the small one is often a co-occurring secondary effect, e.g.
+        client-side evening congestion).
+        """
+        discount = 1.0 if verdict.paths_match else 0.6
+        return (verdict.asn is not None, verdict.delta_ms * discount)
+
+    @staticmethod
+    def best_verdicts_by_key(
+        localized: list[LocalizedIssue],
+    ) -> dict[tuple[str, ASPath], CulpritVerdict]:
+        """The most trustworthy verdict per ⟨location, BGP path⟩.
+
+        A key can accumulate several probes across an issue's flickering
+        lifetime; a confident aligned-path verdict must not be shadowed
+        by a later stale-baseline one.
+        """
+        best: dict[tuple[str, ASPath], CulpritVerdict] = {}
+        for item in localized:
+            verdict = item.verdict
+            if verdict is None or verdict.asn is None:
+                continue
+            current = best.get(item.issue_key)
+            if current is None or BlameItPipeline._verdict_rank(
+                verdict
+            ) > BlameItPipeline._verdict_rank(current):
+                best[item.issue_key] = verdict
+        return best
+
+    def _record_closed_middle(
+        self, closed: list[MiddleIssue], report: PipelineReport
+    ) -> None:
+        for issue in closed:
+            if issue.serial in self._recorded_middle:
+                continue
+            self._recorded_middle.add(issue.serial)
+            report.closed_middle.append(issue)
+            self.duration_predictor.observe(issue.duration, key=issue.key)
+
+    def _finalize(self, report: PipelineReport) -> None:
+        self.tracker.close_all()
+        self._record_closed_middle(self.tracker.closed_issues, report)
+        self.cloud_tracker.close_all()
+        self.client_tracker.close_all()
+        report.closed_cloud = list(self.cloud_tracker.closed)
+        report.closed_client = list(self.client_tracker.closed)
+        report.probes_on_demand = self.on_demand.probes_issued
+        report.probes_background = self.background.probes_total
+        report.probes_churn = self.background.probes_churn
+        report.alerts = self._build_alerts(report)
+
+    def _build_alerts(self, report: PipelineReport) -> list[Alert]:
+        manager = AlertManager(self.alert_top_k)
+        verdict_by_key = self.best_verdicts_by_key(report.localized)
+        for issue in report.closed_middle:
+            verdict = verdict_by_key.get(issue.key)
+            manager.add(
+                Alert(
+                    blame=Blame.MIDDLE,
+                    location_id=issue.location_id,
+                    middle=issue.middle,
+                    culprit_asn=verdict.asn if verdict else None,
+                    first_seen=issue.first_seen,
+                    duration=issue.duration,
+                    impact=issue.total_client_time,
+                    confidence=1.0 if verdict and verdict.confident else 0.5,
+                    detail=(
+                        f"Middle-segment issue on {issue.location_id} via "
+                        f"{'-'.join(f'AS{a}' for a in issue.middle) or 'direct'}"
+                    ),
+                )
+            )
+        for segment_issue in report.closed_cloud + report.closed_client:
+            manager.add(
+                Alert(
+                    blame=segment_issue.blame,
+                    location_id=segment_issue.location_id,
+                    middle=(),
+                    culprit_asn=segment_issue.culprit_asn,
+                    first_seen=segment_issue.first_seen,
+                    duration=segment_issue.duration,
+                    impact=segment_issue.impact,
+                    confidence=segment_issue.confidence,
+                    detail=(
+                        f"{segment_issue.blame} issue at key "
+                        f"{segment_issue.key} ({segment_issue.duration} buckets)"
+                    ),
+                )
+            )
+        return manager.tickets()

@@ -1,0 +1,146 @@
+"""Predictors powering impact-prioritized probing (§5.3).
+
+Two quantities feed the client-time product of a middle-segment issue:
+
+* **Remaining duration** — from the empirical distribution of historical
+  fault durations: given an issue has lasted ``t``, its expected
+  additional duration is the mean residual life
+  ``E[D - t | D > t] = Σ_T P(T | t) · T``. The long tail (§2.3) means the
+  predictor only has to separate the few long-lived issues from the many
+  fleeting ones, not be precise.
+* **Impacted clients** — predicted from the same 5-minute window of the
+  previous days (the paper found same-window-previous-days beats recent
+  windows of the same day, and uses the past 3 days).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.net.bgp import Timestamp
+
+#: Buckets per day.
+_BUCKETS_PER_DAY = 288
+
+
+class DurationPredictor:
+    """Mean-residual-life estimator over historical issue durations.
+
+    Durations are in 5-minute buckets. Per-key (BGP path) histories are
+    used when populated; a global pool is the fallback, and a configurable
+    prior covers the cold start.
+    """
+
+    def __init__(self, min_key_history: int = 5, prior_mean_buckets: float = 3.0) -> None:
+        """
+        Args:
+            min_key_history: Minimum per-key observations before the key's
+                own history is trusted over the global pool.
+            prior_mean_buckets: Expected duration when no history exists.
+        """
+        if min_key_history < 1:
+            raise ValueError("min_key_history must be >= 1")
+        if prior_mean_buckets <= 0:
+            raise ValueError("prior_mean_buckets must be positive")
+        self.min_key_history = min_key_history
+        self.prior_mean_buckets = prior_mean_buckets
+        self._global: list[int] = []
+        self._by_key: dict[Hashable, list[int]] = {}
+
+    def observe(self, duration: int, key: Hashable | None = None) -> None:
+        """Record one completed issue's total duration.
+
+        Args:
+            duration: Total issue length in buckets (≥ 1).
+            key: Optional BGP-path key for per-key history.
+        """
+        if duration < 1:
+            raise ValueError("duration must be >= 1 bucket")
+        self._global.append(duration)
+        if key is not None:
+            self._by_key.setdefault(key, []).append(duration)
+
+    def observe_all(self, durations: list[int], key: Hashable | None = None) -> None:
+        """Record a batch of durations under one key."""
+        for duration in durations:
+            self.observe(duration, key)
+
+    def _pool(self, key: Hashable | None) -> list[int]:
+        if key is not None:
+            history = self._by_key.get(key, [])
+            if len(history) >= self.min_key_history:
+                return history
+        return self._global
+
+    def survival_probability(
+        self, elapsed: int, additional: int, key: Hashable | None = None
+    ) -> float:
+        """P(total duration > elapsed + additional | duration > elapsed)."""
+        if elapsed < 0 or additional < 0:
+            raise ValueError("elapsed and additional must be non-negative")
+        pool = self._pool(key)
+        alive = [d for d in pool if d > elapsed]
+        if not alive:
+            return 0.0
+        return sum(1 for d in alive if d > elapsed + additional) / len(alive)
+
+    def expected_remaining(self, elapsed: int, key: Hashable | None = None) -> float:
+        """Expected additional duration given the issue has lasted ``elapsed``.
+
+        Returns the empirical mean residual life, or the prior when no
+        historical duration exceeds ``elapsed``.
+        """
+        if elapsed < 0:
+            raise ValueError("elapsed must be non-negative")
+        pool = self._pool(key)
+        alive = [d for d in pool if d > elapsed]
+        if not alive:
+            return self.prior_mean_buckets
+        return sum(alive) / len(alive) - elapsed
+
+    @property
+    def n_observed(self) -> int:
+        """Total durations recorded."""
+        return len(self._global)
+
+
+class ClientCountPredictor:
+    """Predicts active clients on a BGP path from same-window history.
+
+    The paper: "we use the average number of clients that connected via
+    the same middle BGP-path in the same time window in the past 3 days."
+    """
+
+    def __init__(self, history_days: int = 3) -> None:
+        if history_days < 1:
+            raise ValueError("history_days must be >= 1")
+        self.history_days = history_days
+        self._counts: dict[tuple[Hashable, Timestamp], int] = {}
+        self._recent: dict[Hashable, tuple[Timestamp, int]] = {}
+
+    def observe(self, key: Hashable, time: Timestamp, clients: int) -> None:
+        """Record the active-client count of a path in one bucket."""
+        if clients < 0:
+            raise ValueError("clients must be non-negative")
+        self._counts[(key, time)] = clients
+        self._recent[key] = (time, clients)
+
+    def predict(self, key: Hashable, time: Timestamp) -> float:
+        """Expected active clients for ``key`` in bucket ``time``.
+
+        Average of the same bucket-of-day over the past ``history_days``
+        days; falls back to the most recent observation for the key, then
+        to zero (an unseen path has no predictable clients).
+        """
+        history = []
+        for day in range(1, self.history_days + 1):
+            past = time - day * _BUCKETS_PER_DAY
+            count = self._counts.get((key, past))
+            if count is not None:
+                history.append(count)
+        if history:
+            return sum(history) / len(history)
+        recent = self._recent.get(key)
+        if recent is not None:
+            return float(recent[1])
+        return 0.0

@@ -1,0 +1,228 @@
+"""JSON serialization for scenario specs and pipeline reports.
+
+Worlds are fully determined by their :class:`ScenarioParams` (seeded
+generation), so a *scenario spec* — params + explicit faults + reroutes —
+round-trips losslessly through JSON and reproduces bit-identical worlds
+on any machine. Reports serialize to a summary document suitable for
+archiving a diagnosis run next to an incident ticket.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+from repro.core.pipeline import PipelineReport
+from repro.net.addressing import BGPPrefix
+from repro.net.geo import Region
+from repro.sim.faults import Direction, Fault, FaultRates, FaultTarget, SegmentKind
+from repro.sim.scenario import RerouteEvent, Scenario, ScenarioParams, build_world
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Scenario specs
+# ---------------------------------------------------------------------------
+
+
+def params_to_dict(params: ScenarioParams) -> dict[str, Any]:
+    """ScenarioParams → plain JSON-compatible dict."""
+    data = dataclasses.asdict(params)
+    data["regions"] = [region.name for region in params.regions]
+    data["topology"] = dataclasses.asdict(params.topology)
+    data["topology"]["regions"] = [r.name for r in params.topology.regions]
+    data["fault_rates"] = dataclasses.asdict(params.fault_rates)
+    return data
+
+
+def params_from_dict(data: dict[str, Any]) -> ScenarioParams:
+    """Inverse of :func:`params_to_dict`."""
+    from repro.cloud.clients import PopulationParams
+    from repro.net.latency import LatencyParams
+    from repro.net.topology import TopologyParams
+    from repro.sim.workload import WorkloadParams
+
+    payload = dict(data)
+    payload["regions"] = tuple(Region[name] for name in payload["regions"])
+    topology = dict(payload["topology"])
+    topology["regions"] = tuple(Region[name] for name in topology["regions"])
+    payload["topology"] = TopologyParams(**topology)
+    payload["population"] = PopulationParams(
+        **{
+            **payload["population"],
+            "announcements_per_as": tuple(payload["population"]["announcements_per_as"]),
+            "announcement_lengths": tuple(payload["population"]["announcement_lengths"]),
+        }
+    )
+    payload["latency"] = LatencyParams(**payload["latency"])
+    payload["workload"] = WorkloadParams(**payload["workload"])
+    payload["fault_rates"] = FaultRates(**payload["fault_rates"])
+    payload["evening_congestion_ms"] = tuple(payload["evening_congestion_ms"])
+    return ScenarioParams(**payload)
+
+
+def _fault_to_dict(fault: Fault) -> dict[str, Any]:
+    target = fault.target
+    return {
+        "fault_id": fault.fault_id,
+        "kind": target.kind.name,
+        "location_id": target.location_id,
+        "asn": target.asn,
+        "path_scope": list(target.path_scope) if target.path_scope else None,
+        "prefixes": sorted(target.prefixes) if target.prefixes else None,
+        "affected_fraction": target.affected_fraction,
+        "direction": target.direction.name,
+        "start": fault.start,
+        "duration": fault.duration,
+        "added_ms": fault.added_ms,
+    }
+
+
+def _fault_from_dict(data: dict[str, Any]) -> Fault:
+    target = FaultTarget(
+        kind=SegmentKind[data["kind"]],
+        location_id=data["location_id"],
+        asn=data["asn"],
+        path_scope=tuple(data["path_scope"]) if data["path_scope"] else None,
+        prefixes=frozenset(data["prefixes"]) if data["prefixes"] else None,
+        affected_fraction=data["affected_fraction"],
+        direction=Direction[data["direction"]],
+    )
+    return Fault(
+        fault_id=data["fault_id"],
+        target=target,
+        start=data["start"],
+        duration=data["duration"],
+        added_ms=data["added_ms"],
+    )
+
+
+def _reroute_to_dict(event: RerouteEvent) -> dict[str, Any]:
+    return {
+        "time": event.time,
+        "location_id": event.location_id,
+        "announcement": {
+            "network": event.announcement.network,
+            "length": event.announcement.length,
+        },
+        "new_path": list(event.new_path) if event.new_path else None,
+    }
+
+
+def _reroute_from_dict(data: dict[str, Any]) -> RerouteEvent:
+    return RerouteEvent(
+        time=data["time"],
+        location_id=data["location_id"],
+        announcement=BGPPrefix(
+            network=data["announcement"]["network"],
+            length=data["announcement"]["length"],
+        ),
+        new_path=tuple(data["new_path"]) if data["new_path"] else None,
+    )
+
+
+def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    """Scenario → reproducible JSON spec (params + faults + churn)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "params": params_to_dict(scenario.params),
+        "faults": [_fault_to_dict(f) for f in scenario.faults],
+        "reroutes": [_reroute_to_dict(r) for r in scenario.reroutes],
+    }
+
+
+def scenario_from_dict(data: dict[str, Any]) -> Scenario:
+    """Rebuild a scenario (and its world) from a JSON spec."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported scenario format version: {version!r}")
+    params = params_from_dict(data["params"])
+    world = build_world(params)
+    faults = tuple(_fault_from_dict(f) for f in data["faults"])
+    reroutes = tuple(_reroute_from_dict(r) for r in data["reroutes"])
+    return Scenario(world, faults, reroutes)
+
+
+def save_scenario(scenario: Scenario, path: str | pathlib.Path) -> None:
+    """Write a scenario spec as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2), encoding="utf-8"
+    )
+
+
+def load_scenario(path: str | pathlib.Path) -> Scenario:
+    """Read a scenario spec and rebuild the identical scenario."""
+    return scenario_from_dict(
+        json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+def report_to_dict(report: PipelineReport) -> dict[str, Any]:
+    """PipelineReport → archival JSON summary.
+
+    One-way (reports summarize a run; they are not re-loadable state).
+    """
+    return {
+        "format_version": _FORMAT_VERSION,
+        "window": [report.start, report.end],
+        "total_quartets": report.total_quartets,
+        "bad_quartets": report.bad_quartets,
+        "blame_counts": {
+            str(blame): count for blame, count in report.blame_counts.items()
+        },
+        "probes": {
+            "on_demand": report.probes_on_demand,
+            "background": report.probes_background,
+            "churn_triggered": report.probes_churn,
+            "bootstrap": report.probes_bootstrap,
+        },
+        "middle_issues": [
+            {
+                "location_id": issue.location_id,
+                "middle": list(issue.middle),
+                "first_seen": issue.first_seen,
+                "duration": issue.duration,
+                "affected_prefixes": len(issue.prefixes),
+                "client_time": issue.total_client_time,
+            }
+            for issue in report.closed_middle
+        ],
+        "verdicts": [
+            {
+                "location_id": item.issue_key[0],
+                "middle": list(item.issue_key[1]),
+                "category": item.category,
+                "probed_at": item.probed_at,
+                "culprit_asn": item.verdict.asn if item.verdict else None,
+                "delta_ms": item.verdict.delta_ms if item.verdict else None,
+            }
+            for item in report.localized
+        ],
+        "alerts": [
+            {
+                "blame": str(alert.blame),
+                "team": str(alert.team) if alert.team else None,
+                "location_id": alert.location_id,
+                "culprit_asn": alert.culprit_asn,
+                "impact": alert.impact,
+                "duration": alert.duration,
+                "detail": alert.detail,
+            }
+            for alert in report.alerts
+        ],
+    }
+
+
+def save_report(report: PipelineReport, path: str | pathlib.Path) -> None:
+    """Write a report summary as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(report_to_dict(report), indent=2), encoding="utf-8"
+    )

@@ -1,0 +1,76 @@
+"""Autonomous systems: the administrative domains whose faults BlameIt localizes.
+
+The paper's fault granularity is the AS. We model four kinds: the cloud
+provider's own AS, global tier-1 transit carriers, regional transit
+providers, and access (eyeball) networks that originate client prefixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.geo import Metro
+
+
+class ASTier(enum.Enum):
+    """Commercial role of an AS in the topology hierarchy."""
+
+    CLOUD = "cloud"
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    ACCESS = "access"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class AutonomousSystem:
+    """An autonomous system.
+
+    Attributes:
+        asn: AS number (unique within a scenario).
+        name: Human-readable operator name.
+        tier: Role in the hierarchy (:class:`ASTier`).
+        metros: Metros where the AS has presence. Access ASes serve clients
+            in these metros; transits peer in them.
+        enterprise: For access ASes only — whether this is a
+            well-provisioned enterprise/work network (daytime traffic) as
+            opposed to a home broadband / cellular ISP (evening traffic).
+            Drives the diurnal badness asymmetry of Figure 3.
+    """
+
+    asn: int
+    name: str
+    tier: ASTier
+    metros: tuple[Metro, ...] = field(default=())
+    enterprise: bool = False
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+
+    def __str__(self) -> str:
+        return f"AS{self.asn}({self.name})"
+
+    def __repr__(self) -> str:
+        return f"AutonomousSystem(asn={self.asn}, name={self.name!r}, tier={self.tier})"
+
+
+#: Type alias used throughout: an AS-level path is a tuple of ASNs in
+#: cloud-to-client order, excluding neither endpoint. The "BGP path" the
+#: paper groups middle segments by is this tuple minus the cloud AS and the
+#: client AS (see :mod:`repro.core.grouping`).
+ASPath = tuple[int, ...]
+
+
+def middle_asns(path: ASPath) -> ASPath:
+    """The middle segment of a cloud-to-client AS path.
+
+    Strips the first hop (the cloud AS) and the last hop (the client AS).
+    A direct cloud-to-client adjacency has an empty middle.
+    """
+    if len(path) < 2:
+        raise ValueError(f"a cloud-to-client path has at least 2 ASes, got {path}")
+    return path[1:-1]

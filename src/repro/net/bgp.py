@@ -1,0 +1,181 @@
+"""BGP tables, update events, and the IBGP-style listener.
+
+The paper's background-probe optimization (§5.4) triggers traceroutes when
+"the AS level path to a client prefix has changed at a border router or a
+route has been withdrawn", learned from a BGP listener connected to all
+border routers over IBGP. Here each cloud location owns a
+:class:`BGPTable`; the simulation installs and withdraws routes as the
+scenario evolves, and a :class:`BGPListener` fans the resulting
+:class:`BGPUpdate` events out to subscribers (the background probe manager).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.net.addressing import BGPPrefix
+from repro.net.asn import ASPath, middle_asns
+
+#: Discrete simulation time: index of a 5-minute bucket.
+Timestamp = int
+
+
+class BGPUpdateKind(enum.Enum):
+    """What happened to a route at a border router."""
+
+    ANNOUNCE = "announce"  # new route or path change
+    WITHDRAW = "withdraw"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEntry:
+    """A route installed at one cloud location.
+
+    Attributes:
+        prefix: The announced client prefix.
+        as_path: Full AS path, cloud AS first, origin (client) AS last.
+        installed_at: Bucket when the entry was installed.
+    """
+
+    prefix: BGPPrefix
+    as_path: ASPath
+    installed_at: Timestamp
+
+    @property
+    def origin_asn(self) -> int:
+        """The origin (client) AS of the route."""
+        return self.as_path[-1]
+
+    @property
+    def middle(self) -> ASPath:
+        """The middle segment (AS path minus cloud and client ASes)."""
+        return middle_asns(self.as_path)
+
+
+@dataclass(frozen=True, slots=True)
+class BGPUpdate:
+    """A route change event observed by the listener.
+
+    Attributes:
+        location_id: Cloud location whose border router saw the change.
+        prefix: Affected prefix.
+        kind: Announce (new/changed path) or withdraw.
+        old_path: Previous AS path (None for a fresh announce).
+        new_path: New AS path (None for a withdraw).
+        time: Bucket when the change happened.
+    """
+
+    location_id: str
+    prefix: BGPPrefix
+    kind: BGPUpdateKind
+    old_path: ASPath | None
+    new_path: ASPath | None
+    time: Timestamp
+
+
+class BGPTable:
+    """The routing table of one cloud location's border router."""
+
+    def __init__(self, location_id: str) -> None:
+        self.location_id = location_id
+        self._routes: dict[BGPPrefix, RouteEntry] = {}
+
+    def install(
+        self, prefix: BGPPrefix, as_path: ASPath, time: Timestamp
+    ) -> BGPUpdate | None:
+        """Install or replace the route for a prefix.
+
+        Returns:
+            A :class:`BGPUpdate` if the path actually changed, else None.
+        """
+        old = self._routes.get(prefix)
+        if old is not None and old.as_path == as_path:
+            return None
+        self._routes[prefix] = RouteEntry(prefix, as_path, time)
+        return BGPUpdate(
+            location_id=self.location_id,
+            prefix=prefix,
+            kind=BGPUpdateKind.ANNOUNCE,
+            old_path=old.as_path if old else None,
+            new_path=as_path,
+            time=time,
+        )
+
+    def withdraw(self, prefix: BGPPrefix, time: Timestamp) -> BGPUpdate | None:
+        """Withdraw the route for a prefix.
+
+        Returns:
+            A :class:`BGPUpdate` if a route existed, else None.
+        """
+        old = self._routes.pop(prefix, None)
+        if old is None:
+            return None
+        return BGPUpdate(
+            location_id=self.location_id,
+            prefix=prefix,
+            kind=BGPUpdateKind.WITHDRAW,
+            old_path=old.as_path,
+            new_path=None,
+            time=time,
+        )
+
+    def lookup(self, prefix: BGPPrefix) -> RouteEntry | None:
+        """The installed route for a prefix, or None."""
+        return self._routes.get(prefix)
+
+    def entries(self) -> tuple[RouteEntry, ...]:
+        """All installed routes, ordered by prefix."""
+        return tuple(self._routes[p] for p in sorted(self._routes))
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+@dataclass
+class BGPListener:
+    """Fans BGP update events out to subscribers and keeps a log.
+
+    The listener is the integration point between the routing substrate
+    and BlameIt's background-probe manager: the manager subscribes and
+    issues a traceroute to each prefix whose path changed (§5.4).
+    """
+
+    _subscribers: list[Callable[[BGPUpdate], None]] = field(default_factory=list)
+    log: list[BGPUpdate] = field(default_factory=list)
+
+    def subscribe(self, callback: Callable[[BGPUpdate], None]) -> None:
+        """Register a callback invoked for every future update."""
+        self._subscribers.append(callback)
+
+    def publish(self, update: BGPUpdate | None) -> None:
+        """Record an update and notify subscribers. ``None`` is ignored."""
+        if update is None:
+            return
+        self.log.append(update)
+        for callback in self._subscribers:
+            callback(update)
+
+    def publish_all(self, updates: Iterable[BGPUpdate | None]) -> None:
+        """Publish a batch of updates, skipping Nones."""
+        for update in updates:
+            self.publish(update)
+
+    def updates_between(self, start: Timestamp, end: Timestamp) -> tuple[BGPUpdate, ...]:
+        """Logged updates with ``start <= time < end``."""
+        return tuple(u for u in self.log if start <= u.time < end)
+
+    def churn_fraction(self, total_paths: int) -> float:
+        """Fraction of distinct (location, prefix) pairs that ever churned.
+
+        The paper reports nearly two-thirds of BGP paths see *no* churn in
+        a day; this is the complementary measure used by benches.
+        """
+        if total_paths <= 0:
+            raise ValueError("total_paths must be positive")
+        churned = {(u.location_id, u.prefix) for u in self.log}
+        return min(1.0, len(churned) / total_paths)

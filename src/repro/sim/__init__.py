@@ -1,0 +1,42 @@
+"""Workload and fault simulation: the world BlameIt diagnoses.
+
+The scenario (:mod:`repro.sim.scenario`) ties together the network
+substrate and the cloud model into a reproducible world with injected
+faults (:mod:`repro.sim.faults`), diurnal client activity
+(:mod:`repro.sim.workload`), BGP churn, and a ground-truth oracle used to
+validate localization. :mod:`repro.sim.incidents` generates labelled
+incidents modelled on the paper's §6.3 case studies.
+"""
+
+from repro.sim.faults import Fault, FaultInjector, FaultRates, FaultTarget, SegmentKind
+from repro.sim.incidents import IncidentArchetype, IncidentSpec, generate_incidents
+from repro.sim.scenario import (
+    RerouteEvent,
+    Scenario,
+    ScenarioParams,
+    Slot,
+    World,
+    build_world,
+)
+from repro.sim.workload import ActivityModel, WorkloadParams, diurnal_factor, local_hour
+
+__all__ = [
+    "ActivityModel",
+    "Fault",
+    "FaultInjector",
+    "FaultRates",
+    "FaultTarget",
+    "IncidentArchetype",
+    "IncidentSpec",
+    "RerouteEvent",
+    "Scenario",
+    "ScenarioParams",
+    "SegmentKind",
+    "Slot",
+    "WorkloadParams",
+    "World",
+    "build_world",
+    "diurnal_factor",
+    "generate_incidents",
+    "local_hour",
+]

@@ -1,0 +1,305 @@
+"""Fault model: what breaks, where, for how long, and by how much.
+
+A fault adds latency to exactly one segment of affected paths — matching
+the paper's Insight-1 ("typically, only one of the cloud, middle, or
+client network segments causes the inflation"). Durations are drawn from
+a long-tailed mixture matching Figure 4a: most faults last a single
+5-minute bucket, a small fraction run for hours.
+
+Middle-segment faults can be *path-scoped*: a large AS may have a problem
+along certain paths but not all (§3.1), which is precisely the ambiguity
+that pushed BlameIt away from AS-granularity tomography.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.addressing import Prefix24
+from repro.net.asn import ASPath, middle_asns
+from repro.net.bgp import Timestamp
+
+
+class SegmentKind(enum.Enum):
+    """The three-way path segmentation of §3.1."""
+
+    CLOUD = "cloud"
+    MIDDLE = "middle"
+    CLIENT = "client"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Direction(enum.Enum):
+    """Which direction of the round trip a middle fault sits on.
+
+    Internet routing is asymmetric (§5.1): the client-to-cloud path can
+    traverse different ASes than the cloud-to-client path. A fault on a
+    reverse-only AS still inflates the handshake RTT, but forward
+    traceroutes cannot pin it to the right hop — the motivation for the
+    paper's proposed reverse-traceroute extension.
+    """
+
+    FORWARD = "forward"
+    REVERSE = "reverse"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class FaultTarget:
+    """What a fault affects.
+
+    Exactly one shape per segment kind:
+
+    * ``CLOUD``: ``location_id`` set — all paths served by that location,
+      or a stable hash-selected subset when ``affected_fraction`` < 1
+      (a server overload hits the subset of clients hashing to the
+      overloaded servers, not the whole location).
+    * ``MIDDLE``: ``asn`` set — that AS's contribution on every path
+      through it, or only on paths whose middle segment equals
+      ``path_scope`` when given.
+    * ``CLIENT``: ``asn`` set (the client AS); optionally narrowed to
+      ``prefixes``.
+    """
+
+    kind: SegmentKind
+    location_id: str | None = None
+    asn: int | None = None
+    path_scope: ASPath | None = None
+    prefixes: frozenset[Prefix24] | None = None
+    affected_fraction: float = 1.0
+    direction: Direction = Direction.FORWARD
+
+    def __post_init__(self) -> None:
+        if self.kind is SegmentKind.CLOUD and self.location_id is None:
+            raise ValueError("CLOUD fault needs location_id")
+        if self.kind is not SegmentKind.CLOUD and self.asn is None:
+            raise ValueError(f"{self.kind} fault needs asn")
+        if not 0.0 < self.affected_fraction <= 1.0:
+            raise ValueError("affected_fraction must be in (0, 1]")
+
+    def covers_prefix(self, prefix24: Prefix24) -> bool:
+        """Whether the stable hash-subset includes this /24."""
+        if self.affected_fraction >= 1.0:
+            return True
+        return (zlib.crc32(prefix24.to_bytes(3, "big")) % 1000) < (
+            self.affected_fraction * 1000
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One injected latency fault.
+
+    Attributes:
+        fault_id: Unique id within a scenario.
+        target: What the fault affects.
+        start: First affected bucket.
+        duration: Number of affected buckets (≥ 1).
+        added_ms: Latency added to the affected segment while active.
+    """
+
+    fault_id: int
+    target: FaultTarget
+    start: Timestamp
+    duration: int
+    added_ms: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ValueError("duration must be at least one bucket")
+        if self.added_ms <= 0:
+            raise ValueError("added_ms must be positive")
+
+    @property
+    def end(self) -> Timestamp:
+        """First bucket after the fault clears."""
+        return self.start + self.duration
+
+    def is_active(self, time: Timestamp) -> bool:
+        """Whether the fault affects bucket ``time``."""
+        return self.start <= time < self.end
+
+    def applies_to(
+        self,
+        location_id: str,
+        path: ASPath,
+        prefix24: Prefix24,
+        client_asn: int,
+        reverse_middle: ASPath | None = None,
+    ) -> bool:
+        """Whether this fault inflates the given path (activity aside).
+
+        Args:
+            location_id, path, prefix24, client_asn: The forward path.
+            reverse_middle: Middle ASes of the client-to-cloud path;
+                required for REVERSE-direction middle faults to match
+                (callers that never model asymmetry may omit it).
+        """
+        target = self.target
+        if target.kind is SegmentKind.CLOUD:
+            return location_id == target.location_id and target.covers_prefix(
+                prefix24
+            )
+        if target.kind is SegmentKind.MIDDLE:
+            if target.direction is Direction.REVERSE:
+                if reverse_middle is None or target.asn not in reverse_middle:
+                    return False
+                return target.path_scope is None or reverse_middle == target.path_scope
+            if target.asn not in middle_asns(path):
+                return False
+            return target.path_scope is None or middle_asns(path) == target.path_scope
+        # CLIENT
+        if client_asn != target.asn:
+            return False
+        return target.prefixes is None or prefix24 in target.prefixes
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Mean fault arrivals per day, by segment kind.
+
+    Defaults reflect the production blame mix of Figure 8: client and
+    middle issues dominate, cloud issues are rare (< 4 %) but get fixed
+    fastest.
+
+    Attributes:
+        cloud_mitigation_cap: Maximum cloud-fault duration in buckets.
+            Azure dedicates a team to its own segment, so cloud issues
+            clear faster than middle/client ones (Figure 10); the cap
+            models that mitigation SLO.
+    """
+
+    cloud_per_day: float = 0.4
+    middle_per_day: float = 5.0
+    client_per_day: float = 7.0
+    cloud_mitigation_cap: int = 15
+
+    def __post_init__(self) -> None:
+        for name in ("cloud_per_day", "middle_per_day", "client_per_day"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+#: Buckets per day (5-minute buckets).
+_BUCKETS_PER_DAY = 288
+
+
+def sample_duration(rng: np.random.Generator) -> int:
+    """Draw a fault duration (in buckets) from the Figure 4a mixture.
+
+    ~60 % of faults last a single bucket; the rest follow a lognormal
+    tail calibrated so that roughly 8 % of all faults exceed 2 hours
+    (24 buckets).
+    """
+    if rng.random() < 0.60:
+        return 1
+    return max(2, int(round(rng.lognormal(mean=1.84, sigma=1.6))))
+
+
+def sample_magnitude_ms(rng: np.random.Generator) -> float:
+    """Draw the latency a fault adds, in milliseconds."""
+    return float(rng.uniform(25.0, 120.0))
+
+
+class FaultInjector:
+    """Samples a fault schedule over a horizon.
+
+    Client-fault start times are biased towards local evening hours of
+    home (non-enterprise) ISPs, reproducing the night-time badness
+    elevation of Figure 3 that BlameIt attributes to client ISPs.
+    """
+
+    def __init__(
+        self,
+        rates: FaultRates,
+        location_ids: tuple[str, ...],
+        middle_asns_pool: tuple[int, ...],
+        client_asns: tuple[int, ...],
+        evening_weight: dict[int, np.ndarray] | None = None,
+    ) -> None:
+        """
+        Args:
+            rates: Arrival rates per kind.
+            location_ids: Cloud locations eligible for cloud faults.
+            middle_asns_pool: Transit/tier-1 ASNs eligible for middle
+                faults.
+            client_asns: Client ASNs eligible for client faults.
+            evening_weight: Optional per-client-ASN array of length 288
+                giving relative start-bucket weights within a day (used to
+                bias home-ISP faults towards evenings). Uniform if absent.
+        """
+        self.rates = rates
+        self.location_ids = location_ids
+        self.middle_pool = middle_asns_pool
+        self.client_asns = client_asns
+        self.evening_weight = evening_weight or {}
+
+    def generate(
+        self, horizon_buckets: int, rng: np.random.Generator, first_id: int = 0
+    ) -> tuple[Fault, ...]:
+        """Sample the fault schedule for ``horizon_buckets`` buckets."""
+        days = horizon_buckets / _BUCKETS_PER_DAY
+        faults: list[Fault] = []
+        next_id = first_id
+        for kind, rate, pool in (
+            (SegmentKind.CLOUD, self.rates.cloud_per_day, self.location_ids),
+            (SegmentKind.MIDDLE, self.rates.middle_per_day, self.middle_pool),
+            (SegmentKind.CLIENT, self.rates.client_per_day, self.client_asns),
+        ):
+            if not pool or rate <= 0:
+                continue
+            count = int(rng.poisson(rate * days))
+            for _ in range(count):
+                faults.append(
+                    self._sample_one(kind, pool, horizon_buckets, next_id, rng)
+                )
+                next_id += 1
+        return tuple(sorted(faults, key=lambda f: (f.start, f.fault_id)))
+
+    def _sample_one(
+        self,
+        kind: SegmentKind,
+        pool: tuple,
+        horizon: int,
+        fault_id: int,
+        rng: np.random.Generator,
+    ) -> Fault:
+        choice = pool[int(rng.integers(0, len(pool)))]
+        duration = sample_duration(rng)
+        if kind is SegmentKind.CLOUD:
+            target = FaultTarget(kind=kind, location_id=str(choice))
+            start = int(rng.integers(0, horizon))
+            duration = min(duration, self.rates.cloud_mitigation_cap)
+        elif kind is SegmentKind.MIDDLE:
+            target = FaultTarget(kind=kind, asn=int(choice))
+            start = int(rng.integers(0, horizon))
+        else:
+            target = FaultTarget(kind=kind, asn=int(choice))
+            start = self._client_start(int(choice), horizon, rng)
+        return Fault(
+            fault_id=fault_id,
+            target=target,
+            start=start,
+            duration=duration,
+            added_ms=sample_magnitude_ms(rng),
+        )
+
+    def _client_start(
+        self, asn: int, horizon: int, rng: np.random.Generator
+    ) -> Timestamp:
+        """Start bucket for a client fault, evening-biased when weighted."""
+        weights = self.evening_weight.get(asn)
+        if weights is None:
+            return int(rng.integers(0, horizon))
+        day = int(rng.integers(0, max(1, horizon // _BUCKETS_PER_DAY)))
+        probs = weights / weights.sum()
+        within_day = int(rng.choice(_BUCKETS_PER_DAY, p=probs))
+        return min(horizon - 1, day * _BUCKETS_PER_DAY + within_day)

@@ -1,0 +1,609 @@
+"""Labelled incident generation, modelled on the paper's §6.3 case studies.
+
+The paper validates BlameIt against 88 production incidents whose root
+cause was established by network engineers. We reproduce the validation
+with generated incidents drawn from five archetypes, each a direct
+analogue of a §6.3 case study:
+
+* ``CLOUD_MAINTENANCE`` — "Maintenance in Brazil": internal routing issue
+  at one location inflates the cloud segment for days.
+* ``PEERING_FAULT`` — "Peering fault": changes inside a peering AS inflate
+  many paths across a wide client footprint.
+* ``CLOUD_OVERLOAD`` — "Cloud overload in Australia": server CPU overload
+  inflates RTTs at one location; the same BGP paths to *other* locations
+  stay healthy (Insight-2).
+* ``TRAFFIC_SHIFT`` — "Traffic shift from East Asia to US West coast":
+  a BGP change reroutes clients onto a poorly-provisioned path; the
+  middle segment carries the inflation.
+* ``CLIENT_ISP`` — "Client ISP issues in Italy": unannounced maintenance
+  inside the client's ISP.
+
+Incident onsets are drawn from the affected clients' local busy hours —
+real investigations concern issues that hurt active users, and an
+incident with no traffic produces only "insufficient" labels. Targets
+are chosen so the incident is *diagnosable in principle* (enough affected
+quartets, a learned baseline for the affected path), which is also true
+of every incident that reaches a manual investigation.
+
+Each :class:`IncidentSpec` records the ground-truth blamed segment and
+culprit AS; the validation harness checks BlameIt's output against them.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.asn import middle_asns
+from repro.net.bgp import Timestamp
+from repro.net.geo import Metro
+from repro.sim.faults import Fault, FaultTarget, SegmentKind
+from repro.sim.scenario import RerouteEvent, Scenario, World
+from repro.sim.workload import local_hour
+
+#: Local-hour window considered "busy" for incident onsets.
+_BUSY_HOURS = (9.0, 21.0)
+
+#: Incident magnitudes must clear calibrated badness targets from any
+#: healthy baseline in the region (see §2.1 target calibration).
+_MAGNITUDE_RANGE = (60.0, 140.0)
+
+
+class IncidentArchetype(enum.Enum):
+    """The five §6.3 case-study shapes."""
+
+    CLOUD_MAINTENANCE = "cloud_maintenance"
+    PEERING_FAULT = "peering_fault"
+    CLOUD_OVERLOAD = "cloud_overload"
+    TRAFFIC_SHIFT = "traffic_shift"
+    CLIENT_ISP = "client_isp"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class IncidentSpec:
+    """One labelled incident.
+
+    Attributes:
+        incident_id: Index within the generated batch.
+        archetype: Case-study shape.
+        faults: Fault schedule realizing the incident.
+        reroutes: Route churn that is part of the incident (traffic shift).
+        start: First affected bucket.
+        duration: Length in buckets.
+        expected_segment: Ground-truth blamed segment.
+        expected_culprit_asn: Ground-truth faulty AS.
+        description: Human-readable summary (appears in alert tickets).
+    """
+
+    incident_id: int
+    archetype: IncidentArchetype
+    faults: tuple[Fault, ...]
+    reroutes: tuple[RerouteEvent, ...]
+    start: Timestamp
+    duration: int
+    expected_segment: SegmentKind
+    expected_culprit_asn: int
+    description: str
+
+    def realize(self, world: World) -> Scenario:
+        """A scenario containing only this incident."""
+        return Scenario(world, self.faults, self.reroutes)
+
+
+@dataclass
+class _WorldIndex:
+    """Precomputed target pools for incident generation (internal)."""
+
+    locations: list[str]
+    client_asns: list[int]
+    middle_ranked: list[int]  # usable middle ASes, highest usage first
+    middle_metro: dict[int, Metro]
+    location_middle_counts: dict[tuple[str, tuple], int]
+    middle_counts: dict[tuple, int]
+    location_totals: dict[str, int]
+
+
+def _index_world(world: World) -> _WorldIndex:
+    """Scan slot paths once and build every pool the builders need.
+
+    Both middle- and client-fault targets are filtered by *share*: a
+    diagnosable fault must not dominate a coarser aggregate, or
+    hierarchical elimination would (correctly, per Insight-2) stop at the
+    coarser level. A middle AS carrying ≥ half of a location's paths
+    looks like a location problem; a client AS producing ≥ half of its
+    middle group's quartets looks like a path problem.
+    """
+    usage: dict[int, int] = {}
+    middle_metro: dict[int, Metro] = {}
+    per_location_total: dict[str, int] = {}
+    per_location_as: dict[tuple[str, int], int] = {}
+    per_location_client: dict[tuple[str, int], int] = {}
+    location_middle_counts: dict[tuple[str, tuple], int] = {}
+    middle_counts: dict[tuple, int] = {}
+    middle_client_counts: dict[tuple[tuple, int], int] = {}
+    location_slots: dict[str, int] = {}
+    for slot in world.slots:
+        location_id = slot.location.location_id
+        location_slots[location_id] = location_slots.get(location_id, 0) + 1
+        path = world.mapper.path_for(slot.location, slot.client)
+        if path is None:
+            continue
+        middle = middle_asns(path)
+        per_location_total[location_id] = per_location_total.get(location_id, 0) + 1
+        per_location_client[(location_id, slot.client.asn)] = (
+            per_location_client.get((location_id, slot.client.asn), 0) + 1
+        )
+        location_middle_counts[(location_id, middle)] = (
+            location_middle_counts.get((location_id, middle), 0) + 1
+        )
+        middle_counts[middle] = middle_counts.get(middle, 0) + 1
+        middle_client_counts[(middle, slot.client.asn)] = (
+            middle_client_counts.get((middle, slot.client.asn), 0) + 1
+        )
+        for asn in middle:
+            usage[asn] = usage.get(asn, 0) + 1
+            per_location_as[(location_id, asn)] = (
+                per_location_as.get((location_id, asn), 0) + 1
+            )
+            middle_metro.setdefault(asn, slot.client.metro)
+
+    def max_location_share(counts: dict[tuple[str, int], int], asn: int) -> float:
+        shares = [
+            counts.get((loc, asn), 0) / total
+            for loc, total in per_location_total.items()
+            if total > 0
+        ]
+        return max(shares) if shares else 0.0
+
+    def max_middle_share(asn: int) -> float:
+        shares = [
+            middle_client_counts.get((middle, asn), 0) / total
+            for middle, total in middle_counts.items()
+            if total > 0
+        ]
+        return max(shares) if shares else 0.0
+
+    def biggest_group(asn: int) -> int:
+        return max(
+            (total for middle, total in middle_counts.items() if asn in middle),
+            default=0,
+        )
+
+    usable_middle = [
+        asn
+        for asn in usage
+        if max_location_share(per_location_as, asn) <= 0.5 and biggest_group(asn) >= 10
+    ]
+    usable_middle.sort(key=lambda a: (-usage[a], a))
+    if not usable_middle:  # degenerate tiny world: least-dominant ASes
+        usable_middle = sorted(
+            usage, key=lambda a: (max_location_share(per_location_as, a), -usage[a], a)
+        )
+
+    def client_ok(asn: int) -> bool:
+        return (
+            max_location_share(per_location_client, asn) <= 0.5
+            and max_middle_share(asn) <= 0.5
+        )
+
+    all_clients = sorted(
+        world.population.asns,
+        key=lambda asn: (-len(world.population.in_as(asn)), asn),
+    )
+    usable_clients = [asn for asn in all_clients if client_ok(asn)]
+    if not usable_clients:
+        usable_clients = all_clients
+    return _WorldIndex(
+        locations=sorted(location_slots, key=lambda k: (-location_slots[k], k)),
+        client_asns=usable_clients,
+        middle_ranked=usable_middle,
+        middle_metro=middle_metro,
+        location_middle_counts=location_middle_counts,
+        middle_counts=middle_counts,
+        location_totals=per_location_total,
+    )
+
+
+def _gate_pass_probability(expected: float, gate: int = 10) -> float:
+    """P(Poisson(expected) >= gate): chance a slot clears the sample gate."""
+    if expected <= 0:
+        return 0.0
+    if expected > 4 * gate:
+        return 1.0
+    term = math.exp(-expected)
+    cdf = term
+    for k in range(1, gate):
+        term *= expected / k
+        cdf += term
+    return max(0.0, 1.0 - cdf)
+
+
+def _gated_share_ok(
+    world: World,
+    scoped_middle: tuple,
+    start: Timestamp,
+    duration: int,
+    threshold: float = 0.4,
+) -> bool:
+    """Whether the scoped group stays a minority of active traffic.
+
+    Static slot shares can mislead: at night the *active* population
+    shrinks and a 40 % group can become 90 % of what a location still
+    sees, tripping the cloud step (a fault on ≥ 60 % of a location's
+    gated quartets is legitimately indistinguishable from a location
+    problem under τ = 0.8 with median thresholds). This weights each
+    slot by its probability of clearing the 10-sample quartet gate
+    across the incident window.
+    """
+    for time in range(start, start + duration, 4):
+        active: dict[str, float] = {}
+        scoped: dict[str, float] = {}
+        for slot in world.slots:
+            expected = (
+                world.activity.expected_connections(
+                    slot.client.users, slot.client.metro, slot.enterprise, time
+                )
+                * slot.share
+            )
+            weight = _gate_pass_probability(expected)
+            if weight <= 0.01:
+                continue
+            location_id = slot.location.location_id
+            active[location_id] = active.get(location_id, 0.0) + weight
+            path = world.mapper.path_for(slot.location, slot.client)
+            if path is not None and middle_asns(path) == scoped_middle:
+                scoped[location_id] = scoped.get(location_id, 0.0) + weight
+        for location_id, count in active.items():
+            if count > 0 and scoped.get(location_id, 0.0) / count > threshold:
+                return False
+    return True
+
+
+def _busy_start(
+    metro: Metro,
+    rng: np.random.Generator,
+    start_range: tuple[int, int],
+) -> Timestamp:
+    """A start bucket within the metro's local busy hours."""
+    lo, hi = _BUSY_HOURS
+    candidates = [
+        bucket
+        for bucket in range(start_range[0], start_range[1])
+        if lo <= local_hour(metro, bucket) <= hi
+    ]
+    if not candidates:
+        return int(rng.integers(start_range[0], start_range[1]))
+    return int(candidates[int(rng.integers(0, len(candidates)))])
+
+
+def _location_active_enough(
+    world: World,
+    location_id: str,
+    start: Timestamp,
+    duration: int,
+    min_gated: float = 8.0,
+) -> bool:
+    """Whether a location carries enough gated quartets to be diagnosed.
+
+    A cloud fault at a PoP with ≤ 5 measurable prefixes can only ever
+    yield "insufficient" (Algorithm 1's aggregate gate); such incidents
+    never reach a diagnosable state and are not generated.
+    """
+    for time in range(start, start + duration, 6):
+        weight = 0.0
+        for slot in world.slots:
+            if slot.location.location_id != location_id:
+                continue
+            expected = (
+                world.activity.expected_connections(
+                    slot.client.users, slot.client.metro, slot.enterprise, time
+                )
+                * slot.share
+            )
+            weight += _gate_pass_probability(expected)
+        if weight < min_gated:
+            return False
+    return True
+
+
+def _pick_cloud_target(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    duration: int,
+    rng: np.random.Generator,
+) -> tuple[str, Timestamp]:
+    """A (location, busy start) pair with enough diagnosable traffic."""
+    n = len(index.locations)
+    for offset in range(n):
+        location_id = index.locations[(incident_id + offset) % n]
+        metro = world.location_by_id(location_id).metro
+        start = _busy_start(metro, rng, start_range)
+        if _location_active_enough(world, location_id, start, duration):
+            return location_id, start
+    # Degenerate world: fall back to the busiest location.
+    location_id = index.locations[0]
+    return location_id, _busy_start(
+        world.location_by_id(location_id).metro, rng, start_range
+    )
+
+
+def generate_incidents(
+    world: World,
+    count: int,
+    rng: np.random.Generator,
+    start_range: tuple[int, int] | None = None,
+) -> tuple[IncidentSpec, ...]:
+    """Generate ``count`` labelled incidents over the world.
+
+    Archetypes rotate round-robin so a batch of 88 covers every case-study
+    shape.
+
+    Args:
+        world: The shared static world.
+        count: Number of incidents (the paper validates 88).
+        rng: Seeded generator.
+        start_range: Bucket range for incident onsets; defaults to
+            leaving room for the longest incident before the horizon.
+
+    Returns:
+        The incident specs, ids 0..count-1.
+    """
+    horizon = world.params.horizon_buckets
+    if start_range is None:
+        start_range = (12, max(13, horizon - 72))
+    index = _index_world(world)
+    archetypes = tuple(IncidentArchetype)
+    specs: list[IncidentSpec] = []
+    for incident_id in range(count):
+        archetype = archetypes[incident_id % len(archetypes)]
+        builder = _BUILDERS[archetype]
+        specs.append(builder(world, index, incident_id, start_range, rng))
+    return tuple(specs)
+
+
+def _magnitude(rng: np.random.Generator) -> float:
+    return float(rng.uniform(*_MAGNITUDE_RANGE))
+
+
+def _build_cloud_maintenance(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    duration = int(rng.integers(24, 48))  # maintenance issues linger
+    location_id, start = _pick_cloud_target(
+        world, index, incident_id, start_range, duration, rng
+    )
+    added = _magnitude(rng)
+    fault = Fault(
+        fault_id=incident_id,
+        target=FaultTarget(kind=SegmentKind.CLOUD, location_id=location_id),
+        start=start,
+        duration=duration,
+        added_ms=added,
+    )
+    return IncidentSpec(
+        incident_id=incident_id,
+        archetype=IncidentArchetype.CLOUD_MAINTENANCE,
+        faults=(fault,),
+        reroutes=(),
+        start=start,
+        duration=fault.duration,
+        expected_segment=SegmentKind.CLOUD,
+        expected_culprit_asn=world.cloud_asn,
+        description=(
+            f"Unfinished maintenance at {location_id}: internal routing adds "
+            f"{added:.0f}ms to every client of the location"
+        ),
+    )
+
+
+def _build_peering_fault(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    asn = index.middle_ranked[incident_id % len(index.middle_ranked)]
+    metro = index.middle_metro.get(asn)
+    start = (
+        _busy_start(metro, rng, start_range)
+        if metro is not None
+        else int(rng.integers(*start_range))
+    )
+    added = _magnitude(rng)
+    fault = Fault(
+        fault_id=incident_id,
+        target=FaultTarget(kind=SegmentKind.MIDDLE, asn=asn),
+        start=start,
+        duration=int(rng.integers(6, 48)),
+        added_ms=added,
+    )
+    return IncidentSpec(
+        incident_id=incident_id,
+        archetype=IncidentArchetype.PEERING_FAULT,
+        faults=(fault,),
+        reroutes=(),
+        start=start,
+        duration=fault.duration,
+        expected_segment=SegmentKind.MIDDLE,
+        expected_culprit_asn=asn,
+        description=(
+            f"Path changes inside peering AS{asn} add {added:.0f}ms on every "
+            f"path through it"
+        ),
+    )
+
+
+def _build_cloud_overload(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    duration = int(rng.integers(6, 18))  # overloads get mitigated quickly
+    location_id, start = _pick_cloud_target(
+        world, index, incident_id + 1, start_range, duration, rng
+    )
+    added = _magnitude(rng)
+    fault = Fault(
+        fault_id=incident_id,
+        target=FaultTarget(kind=SegmentKind.CLOUD, location_id=location_id),
+        start=start,
+        duration=duration,
+        added_ms=added,
+    )
+    return IncidentSpec(
+        incident_id=incident_id,
+        archetype=IncidentArchetype.CLOUD_OVERLOAD,
+        faults=(fault,),
+        reroutes=(),
+        start=start,
+        duration=fault.duration,
+        expected_segment=SegmentKind.CLOUD,
+        expected_culprit_asn=world.cloud_asn,
+        description=(
+            f"Server CPU overload at {location_id} raises handshake RTTs by "
+            f"{added:.0f}ms; same BGP paths to other locations stay healthy"
+        ),
+    )
+
+
+def _build_traffic_shift(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    """A reroute pushes clients onto an alternate path whose transit is
+    poorly provisioned for the shifted traffic.
+
+    The alternate path's middle must already carry healthy traffic (≥ 3
+    slots at the same location, ≥ 6 overall) so that expected RTTs and
+    probe baselines exist for it — otherwise BlameIt would correctly
+    report "insufficient", which is not what the §6.3 case study shows.
+    """
+    order = rng.permutation(len(world.slots))
+    for slot_index in order:
+        slot = world.slots[int(slot_index)]
+        location_id = slot.location.location_id
+        base = world.mapper.path_for(slot.location, slot.client)
+        alternate = world.mapper.alternate_path_for(slot.location, slot.client)
+        if base is None or alternate is None:
+            continue
+        scoped_middle = middle_asns(alternate)
+        if not scoped_middle:
+            continue
+        local_count = index.location_middle_counts.get((location_id, scoped_middle), 0)
+        if local_count < 4 or index.middle_counts.get(scoped_middle, 0) < 16:
+            continue
+        # The group must not dominate any location, or the scoped fault
+        # would (correctly) read as a cloud-location problem. The culprit
+        # AS itself must also pass the peering-target share filter —
+        # blaming a tier-1 that fronts most of a location's paths is
+        # indistinguishable from a location problem.
+        if any(
+            index.location_middle_counts.get((loc, scoped_middle), 0) / total > 0.4
+            for loc, total in index.location_totals.items()
+            if total > 0
+        ):
+            continue
+        if scoped_middle[0] not in index.middle_ranked:
+            continue
+        culprit = scoped_middle[0]
+        added = _magnitude(rng)
+        # The affected group spans the location's whole client footprint;
+        # the serving metro is the best single proxy for its busy hours.
+        start = _busy_start(slot.location.metro, rng, start_range)
+        duration = int(rng.integers(6, 36))
+        if not _gated_share_ok(world, scoped_middle, start, duration):
+            continue
+        reroute_on = RerouteEvent(
+            start, location_id, slot.client.announcement, alternate
+        )
+        reroute_off = RerouteEvent(
+            start + duration, location_id, slot.client.announcement, base
+        )
+        fault = Fault(
+            fault_id=incident_id,
+            target=FaultTarget(
+                kind=SegmentKind.MIDDLE, asn=culprit, path_scope=scoped_middle
+            ),
+            start=start,
+            duration=duration,
+            added_ms=added,
+        )
+        return IncidentSpec(
+            incident_id=incident_id,
+            archetype=IncidentArchetype.TRAFFIC_SHIFT,
+            faults=(fault,),
+            reroutes=(reroute_on, reroute_off),
+            start=start,
+            duration=duration,
+            expected_segment=SegmentKind.MIDDLE,
+            expected_culprit_asn=culprit,
+            description=(
+                f"BGP announcement side-effect shifts {slot.client.announcement} "
+                f"onto a path via AS{culprit}, which lacks capacity for the "
+                f"shifted traffic (+{added:.0f}ms)"
+            ),
+        )
+    # No suitable shift target (degenerate world) — fall back to a plain
+    # middle fault so the batch stays full.
+    return _build_peering_fault(world, index, incident_id, start_range, rng)
+
+
+def _build_client_isp(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    asn = index.client_asns[incident_id % len(index.client_asns)]
+    info = world.generated.topology.as_info(asn)
+    start = _busy_start(info.metros[0], rng, start_range)
+    added = float(rng.uniform(80.0, 160.0))  # the Italy incident: 9ms -> 161ms
+    fault = Fault(
+        fault_id=incident_id,
+        target=FaultTarget(kind=SegmentKind.CLIENT, asn=asn),
+        start=start,
+        duration=int(rng.integers(6, 48)),
+        added_ms=added,
+    )
+    return IncidentSpec(
+        incident_id=incident_id,
+        archetype=IncidentArchetype.CLIENT_ISP,
+        faults=(fault,),
+        reroutes=(),
+        start=start,
+        duration=fault.duration,
+        expected_segment=SegmentKind.CLIENT,
+        expected_culprit_asn=asn,
+        description=(
+            f"Unannounced maintenance inside client ISP AS{asn} adds "
+            f"{added:.0f}ms on the access segment"
+        ),
+    )
+
+
+_BUILDERS = {
+    IncidentArchetype.CLOUD_MAINTENANCE: _build_cloud_maintenance,
+    IncidentArchetype.PEERING_FAULT: _build_peering_fault,
+    IncidentArchetype.CLOUD_OVERLOAD: _build_cloud_overload,
+    IncidentArchetype.TRAFFIC_SHIFT: _build_traffic_shift,
+    IncidentArchetype.CLIENT_ISP: _build_client_isp,
+}

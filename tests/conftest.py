@@ -1,0 +1,55 @@
+"""Shared fixtures: small, fast worlds reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.geo import Region
+from repro.net.topology import TopologyParams, generate_topology
+from repro.sim.scenario import Scenario, ScenarioParams, build_world
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_params() -> ScenarioParams:
+    """Two regions, two locations each, one simulated day."""
+    return ScenarioParams(
+        seed=42,
+        regions=(Region.USA, Region.EUROPE),
+        locations_per_region=2,
+        duration_days=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_world(small_params):
+    """A session-shared small world (read-only in tests)."""
+    return build_world(small_params)
+
+
+@pytest.fixture(scope="session")
+def small_scenario(small_world):
+    """A fault-free, churn-free scenario over the small world.
+
+    Tests must not mutate it; fault-specific tests build their own
+    scenarios via :meth:`Scenario.with_faults` or direct construction.
+    """
+    return Scenario(small_world, (), ())
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """A generated AS topology with three regions."""
+    params = TopologyParams(
+        regions=(Region.USA, Region.EUROPE, Region.INDIA),
+        n_tier1=4,
+        transits_per_region=3,
+        access_per_region=6,
+    )
+    return generate_topology(params, np.random.default_rng(7))

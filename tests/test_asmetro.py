@@ -1,0 +1,46 @@
+"""Tests for the ⟨AS, Metro⟩ grouping baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.asmetro import as_metro_key, as_metro_quartets
+from repro.core.grouping import consistent_path_fraction
+
+
+class TestAsMetroKey:
+    def test_int_tuple(self):
+        key = as_metro_key(65000, "Chicago")
+        assert isinstance(key, tuple)
+        assert all(isinstance(v, int) for v in key)
+
+    def test_distinct_metros_distinct_keys(self):
+        assert as_metro_key(65000, "Chicago") != as_metro_key(65000, "Dallas")
+
+    def test_unknown_metro(self):
+        with pytest.raises(KeyError):
+            as_metro_key(65000, "Gotham")
+
+
+class TestRekeying:
+    def test_rekey_preserves_other_fields(self, small_scenario, small_world):
+        quartets = small_scenario.generate_quartets(150, np.random.default_rng(0))
+        rekeyed = as_metro_quartets(quartets, small_world.population)
+        assert len(rekeyed) == len(quartets)
+        for before, after in zip(quartets, rekeyed):
+            assert after.middle == as_metro_key(
+                before.client_asn,
+                small_world.population.get(before.prefix24).metro.name,
+            )
+            assert after._replace(middle=before.middle) == before
+
+    def test_as_metro_groups_mix_paths(self, small_scenario, small_world):
+        """The §4.2 rationale: ⟨AS, Metro⟩ groups often span multiple BGP
+        paths, while BGP-path groups are single-path by construction."""
+        quartets = small_scenario.generate_quartets(150, np.random.default_rng(0))
+        groups: dict = {}
+        for quartet in quartets:
+            client = small_world.population.get(quartet.prefix24)
+            key = as_metro_key(client.asn, client.metro.name)
+            groups.setdefault(key, set()).add((quartet.location_id, quartet.middle))
+        fraction = consistent_path_fraction(groups)
+        assert fraction < 1.0  # some groups mix paths

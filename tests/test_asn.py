@@ -1,0 +1,45 @@
+"""Tests for repro.net.asn."""
+
+import pytest
+
+from repro.net.asn import ASTier, AutonomousSystem, middle_asns
+
+
+class TestAutonomousSystem:
+    def test_str(self):
+        asys = AutonomousSystem(64512, "TestNet", ASTier.ACCESS)
+        assert str(asys) == "AS64512(TestNet)"
+
+    def test_rejects_nonpositive_asn(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(0, "zero", ASTier.ACCESS)
+        with pytest.raises(ValueError):
+            AutonomousSystem(-3, "neg", ASTier.ACCESS)
+
+    def test_defaults(self):
+        asys = AutonomousSystem(1, "x", ASTier.TIER1)
+        assert asys.metros == ()
+        assert asys.enterprise is False
+
+    def test_hashable(self):
+        a = AutonomousSystem(1, "x", ASTier.TIER1)
+        b = AutonomousSystem(1, "x", ASTier.TIER1)
+        assert a == b
+        assert {a, b} == {a}
+
+
+class TestMiddleASNs:
+    def test_strips_endpoints(self):
+        assert middle_asns((1, 10, 20, 30)) == (10, 20)
+
+    def test_direct_adjacency_empty_middle(self):
+        assert middle_asns((1, 30)) == ()
+
+    def test_single_hop_middle(self):
+        assert middle_asns((1, 10, 30)) == (10,)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            middle_asns((1,))
+        with pytest.raises(ValueError):
+            middle_asns(())

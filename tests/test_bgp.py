@@ -1,0 +1,97 @@
+"""Tests for repro.net.bgp: tables, updates, the listener."""
+
+import pytest
+
+from repro.net.addressing import BGPPrefix, parse_prefix24
+from repro.net.bgp import BGPListener, BGPTable, BGPUpdateKind
+
+
+def _prefix(text: str = "10.0.0", length: int = 24) -> BGPPrefix:
+    return BGPPrefix.from_prefix24(parse_prefix24(text), length)
+
+
+class TestBGPTable:
+    def test_install_new_route_emits_announce(self):
+        table = BGPTable("edge-X")
+        update = table.install(_prefix(), (1, 10, 30), time=5)
+        assert update is not None
+        assert update.kind is BGPUpdateKind.ANNOUNCE
+        assert update.old_path is None
+        assert update.new_path == (1, 10, 30)
+        assert update.time == 5
+        assert len(table) == 1
+
+    def test_reinstall_same_path_is_noop(self):
+        table = BGPTable("edge-X")
+        table.install(_prefix(), (1, 10, 30), time=0)
+        assert table.install(_prefix(), (1, 10, 30), time=1) is None
+
+    def test_path_change_carries_old_path(self):
+        table = BGPTable("edge-X")
+        table.install(_prefix(), (1, 10, 30), time=0)
+        update = table.install(_prefix(), (1, 11, 30), time=2)
+        assert update.old_path == (1, 10, 30)
+        assert update.new_path == (1, 11, 30)
+
+    def test_withdraw(self):
+        table = BGPTable("edge-X")
+        table.install(_prefix(), (1, 10, 30), time=0)
+        update = table.withdraw(_prefix(), time=3)
+        assert update.kind is BGPUpdateKind.WITHDRAW
+        assert update.new_path is None
+        assert table.lookup(_prefix()) is None
+
+    def test_withdraw_absent_is_noop(self):
+        table = BGPTable("edge-X")
+        assert table.withdraw(_prefix(), time=0) is None
+
+    def test_entries_sorted(self):
+        table = BGPTable("edge-X")
+        table.install(_prefix("10.0.1"), (1, 30), 0)
+        table.install(_prefix("10.0.0"), (1, 30), 0)
+        entries = table.entries()
+        assert [e.prefix for e in entries] == sorted(e.prefix for e in entries)
+
+    def test_route_entry_middle(self):
+        table = BGPTable("edge-X")
+        table.install(_prefix(), (1, 10, 20, 30), 0)
+        entry = table.lookup(_prefix())
+        assert entry.middle == (10, 20)
+        assert entry.origin_asn == 30
+
+
+class TestBGPListener:
+    def test_publish_and_log(self):
+        listener = BGPListener()
+        table = BGPTable("edge-X")
+        listener.publish(table.install(_prefix(), (1, 30), 1))
+        listener.publish(None)  # ignored
+        assert len(listener.log) == 1
+
+    def test_subscribers_notified(self):
+        listener = BGPListener()
+        seen = []
+        listener.subscribe(seen.append)
+        table = BGPTable("edge-X")
+        listener.publish(table.install(_prefix(), (1, 30), 1))
+        assert len(seen) == 1
+
+    def test_updates_between(self):
+        listener = BGPListener()
+        table = BGPTable("edge-X")
+        listener.publish(table.install(_prefix("10.0.0"), (1, 30), 1))
+        listener.publish(table.install(_prefix("10.0.1"), (1, 30), 5))
+        listener.publish(table.withdraw(_prefix("10.0.0"), 9))
+        assert len(listener.updates_between(0, 5)) == 1
+        assert len(listener.updates_between(5, 10)) == 2
+
+    def test_churn_fraction(self):
+        listener = BGPListener()
+        table = BGPTable("edge-X")
+        listener.publish(table.install(_prefix("10.0.0"), (1, 30), 1))
+        listener.publish(table.install(_prefix("10.0.0"), (1, 10, 30), 2))
+        assert listener.churn_fraction(total_paths=4) == pytest.approx(0.25)
+
+    def test_churn_fraction_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BGPListener().churn_fraction(0)

@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.cdf: ECDF and KS statistic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import ECDF, ks_two_sample
+
+_SAMPLES = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestECDF:
+    def test_basic_evaluation(self):
+        ecdf = ECDF([1.0, 2.0, 3.0, 4.0])
+        assert ecdf(0.5) == 0.0
+        assert ecdf(1.0) == 0.25
+        assert ecdf(2.5) == 0.5
+        assert ecdf(4.0) == 1.0
+        assert ecdf(100.0) == 1.0
+
+    def test_quantiles(self):
+        ecdf = ECDF([10.0, 20.0, 30.0, 40.0])
+        assert ecdf.quantile(0.25) == 10.0
+        assert ecdf.quantile(0.5) == 20.0
+        assert ecdf.quantile(1.0) == 40.0
+        with pytest.raises(ValueError):
+            ecdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_summary_grid(self):
+        ecdf = ECDF([1.0, 2.0])
+        summary = ecdf.summary([0.0, 1.5, 3.0])
+        assert summary == [(0.0, 0.0), (1.5, 0.5), (3.0, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF([])
+
+    def test_stats(self):
+        ecdf = ECDF([3.0, 1.0, 2.0])
+        assert ecdf.min == 1.0
+        assert ecdf.max == 3.0
+        assert ecdf.mean() == pytest.approx(2.0)
+        assert ecdf.n == 3
+
+    @given(values=_SAMPLES)
+    def test_monotone_between_zero_and_one(self, values):
+        ecdf = ECDF(values)
+        grid = sorted(set(values))
+        evaluations = [ecdf(x) for x in grid]
+        assert all(0.0 <= v <= 1.0 for v in evaluations)
+        assert all(a <= b for a, b in zip(evaluations, evaluations[1:]))
+        assert evaluations[-1] == 1.0
+
+    @given(values=_SAMPLES, q=st.floats(min_value=0.01, max_value=1.0))
+    def test_quantile_inverts_cdf(self, values, q):
+        ecdf = ECDF(values)
+        x = ecdf.quantile(q)
+        assert ecdf(x) >= q - 1e-12
+
+
+class TestKSTwoSample:
+    def test_identical_samples_zero(self):
+        assert ks_two_sample([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_two_sample([1, 2], [10, 20]) == 1.0
+
+    def test_known_value(self):
+        # a = {1,2,3,4}; b = {3,4,5,6}: max gap at x in [2,3) is 0.5.
+        assert ks_two_sample([1, 2, 3, 4], [3, 4, 5, 6]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+    @given(a=_SAMPLES, b=_SAMPLES)
+    def test_bounded_and_symmetric(self, a, b):
+        stat = ks_two_sample(a, b)
+        assert 0.0 <= stat <= 1.0
+        assert stat == pytest.approx(ks_two_sample(b, a))
+
+    @given(a=_SAMPLES)
+    def test_split_halves_small_statistic(self, a):
+        """§2.1 sanity check shape: same-distribution splits give small
+        KS statistics for large n (here: identical samples give 0)."""
+        assert ks_two_sample(a, list(a)) == 0.0

@@ -1,0 +1,161 @@
+"""Tests for repro.analysis.characterize: §2 measurement analyses."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    PersistenceTracker,
+    bad_fraction_by_hour,
+    bad_fraction_by_region,
+    impact_records_from_issues,
+)
+from repro.cloud.locations import RTTTargets
+from repro.core.quartet import Quartet
+from repro.net.geo import Region
+
+
+def _targets() -> RTTTargets:
+    return RTTTargets(
+        by_region={Region.USA: (50.0, 80.0), Region.EUROPE: (60.0, 90.0)}
+    )
+
+
+def _quartet(
+    time=0, prefix=1, rtt=40.0, region=Region.USA, mobile=False, n=15, middle=(10,),
+    users=10, loc="edge-A",
+) -> Quartet:
+    return Quartet(
+        time=time,
+        prefix24=prefix,
+        location_id=loc,
+        mobile=mobile,
+        mean_rtt_ms=rtt,
+        n_samples=n,
+        users=users,
+        client_asn=65000,
+        middle=middle,
+        region=region,
+    )
+
+
+class TestBadFractionByRegion:
+    def test_fraction_computed_per_region_and_mobility(self):
+        stream = [
+            [
+                _quartet(rtt=100.0),  # USA fixed bad
+                _quartet(prefix=2, rtt=10.0),  # USA fixed good
+                _quartet(prefix=3, rtt=70.0, mobile=True),  # USA mobile good
+                _quartet(prefix=4, rtt=100.0, region=Region.EUROPE),  # EU bad
+            ]
+        ]
+        fractions = bad_fraction_by_region(stream, _targets())
+        assert fractions[(Region.USA, False)] == pytest.approx(0.5)
+        assert fractions[(Region.USA, True)] == 0.0
+        assert fractions[(Region.EUROPE, False)] == 1.0
+
+    def test_sample_gate(self):
+        stream = [[_quartet(rtt=100.0, n=5)]]
+        assert bad_fraction_by_region(stream, _targets()) == {}
+
+
+class TestBadFractionByHour:
+    def test_hour_bucketing(self):
+        stream = [
+            (0, [_quartet(time=0, rtt=100.0), _quartet(time=0, prefix=2, rtt=10.0)]),
+            (12, [_quartet(time=12, rtt=10.0)]),
+        ]
+        by_hour = bad_fraction_by_hour(stream, _targets())
+        assert by_hour[0] == pytest.approx(0.5)
+        assert by_hour[1] == 0.0
+
+    def test_isp_filter(self):
+        stream = [(0, [_quartet(rtt=100.0)])]
+        assert bad_fraction_by_hour(stream, _targets(), client_asn=999) == {}
+        assert bad_fraction_by_hour(stream, _targets(), client_asn=65000)[0] == 1.0
+
+
+class TestPersistenceTracker:
+    def test_consecutive_run_counted(self):
+        tracker = PersistenceTracker()
+        key = (1, "edge-A", False)
+        for time in range(5):
+            tracker.observe_bucket(time, {key})
+        tracker.observe_bucket(5, set())
+        assert tracker.completed_runs == [5]
+
+    def test_gap_splits_runs(self):
+        tracker = PersistenceTracker()
+        key = (1, "edge-A", False)
+        tracker.observe_bucket(0, {key})
+        tracker.observe_bucket(1, {key})
+        tracker.observe_bucket(2, set())
+        tracker.observe_bucket(3, {key})
+        runs = tracker.finish()
+        assert sorted(runs) == [1, 2]
+
+    def test_parallel_keys_independent(self):
+        tracker = PersistenceTracker()
+        a = (1, "edge-A", False)
+        b = (2, "edge-A", False)
+        tracker.observe_bucket(0, {a, b})
+        tracker.observe_bucket(1, {a})
+        runs = tracker.finish()
+        assert sorted(runs) == [1, 2]
+
+    def test_bad_keys_helper(self):
+        quartets = [
+            _quartet(rtt=100.0),
+            _quartet(prefix=2, rtt=10.0),
+            _quartet(prefix=3, rtt=100.0, n=4),  # gated out
+        ]
+        keys = PersistenceTracker.bad_keys(quartets, _targets())
+        assert keys == {(1, "edge-A", False)}
+
+
+class TestImpactRecords:
+    def test_aggregation(self):
+        stream = [
+            (0, [_quartet(rtt=100.0, prefix=1, users=10)]),
+            (1, [_quartet(time=1, rtt=100.0, prefix=1, users=10)]),
+            (1, [_quartet(time=1, rtt=100.0, prefix=2, users=30)]),
+            (2, [_quartet(time=2, rtt=10.0, prefix=3, users=99)]),  # good
+        ]
+        records = impact_records_from_issues(stream, _targets())
+        assert len(records) == 1
+        record = records[0]
+        assert record.key == ("edge-A", (10,))
+        assert record.affected_prefixes == 2
+        assert record.affected_clients == 40
+        assert record.duration_buckets == 2
+        assert record.impact == pytest.approx(80.0)
+
+    def test_separate_keys(self):
+        stream = [
+            (0, [
+                _quartet(rtt=100.0, middle=(10,)),
+                _quartet(prefix=2, rtt=100.0, middle=(11,)),
+            ])
+        ]
+        records = impact_records_from_issues(stream, _targets())
+        assert len(records) == 2
+
+
+class TestBadFractionByLocation:
+    def test_per_location_split(self):
+        stream = [
+            [
+                _quartet(rtt=100.0, loc="edge-A"),
+                _quartet(prefix=2, rtt=10.0, loc="edge-A"),
+                _quartet(prefix=3, rtt=10.0, loc="edge-B"),
+            ]
+        ]
+        from repro.analysis.characterize import bad_fraction_by_location
+
+        fractions = bad_fraction_by_location(stream, _targets())
+        assert fractions["edge-A"] == pytest.approx(0.5)
+        assert fractions["edge-B"] == 0.0
+
+    def test_gate_applies(self):
+        from repro.analysis.characterize import bad_fraction_by_location
+
+        stream = [[_quartet(rtt=100.0, n=3)]]
+        assert bad_fraction_by_location(stream, _targets()) == {}

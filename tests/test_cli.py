@@ -1,0 +1,83 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--seed", "3", "--regions", "USA", "Europe", "--days", "1", "--locations", "1"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_region_parsing(self):
+        args = build_parser().parse_args(["simulate", "--regions", "usa", "east_asia"])
+        names = {r.name for r in args.regions}
+        assert names == {"USA", "EAST_ASIA"}
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--regions", "Atlantis"])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(["simulate", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "simulated world" in out
+        assert "client /24s" in out
+        assert "fault mix" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", *FAST, "--start", "150", "--end", "220"]) == 0
+        out = capsys.readouterr().out
+        assert "prevalence" in out
+        assert "USA" in out
+
+    def test_diagnose(self, capsys):
+        code = main(
+            ["diagnose", *FAST, "--start", "150", "--end", "200", "--budget", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blame mix" in out
+        assert "probes:" in out
+
+    def test_diagnose_with_reverse(self, capsys):
+        code = main(
+            ["diagnose", *FAST, "--start", "150", "--end", "180", "--reverse"]
+        )
+        assert code == 0
+        assert "reverse" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        code = main(
+            ["validate", "--seed", "42", "--regions", "USA", "Europe",
+             "--days", "1", "--locations", "2", "--incidents", "5"]
+        )
+        out = capsys.readouterr().out
+        assert "incident validation" in out
+        assert "5/5" in out
+        assert code == 0
+
+
+class TestPersistence:
+    def test_simulate_save_then_diagnose_load(self, tmp_path, capsys):
+        spec = tmp_path / "scenario.json"
+        assert main(["simulate", *FAST, "--save", str(spec)]) == 0
+        assert spec.exists()
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "diagnose", *FAST,
+                "--scenario", str(spec),
+                "--start", "150", "--end", "180",
+                "--save-report", str(report),
+            ]
+        )
+        assert code == 0
+        assert report.exists()
+        out = capsys.readouterr().out
+        assert "report written" in out

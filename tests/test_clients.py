@@ -1,0 +1,89 @@
+"""Tests for repro.cloud.clients: population generation."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.clients import PopulationParams, generate_population
+from repro.net.asn import ASTier
+
+
+@pytest.fixture(scope="module")
+def population(small_topology):
+    return generate_population(
+        small_topology.topology, PopulationParams(), np.random.default_rng(9)
+    )
+
+
+class TestGeneratePopulation:
+    def test_every_access_as_has_prefixes(self, small_topology, population):
+        access = {a.asn for a in small_topology.topology.ases_by_tier(ASTier.ACCESS)}
+        assert set(population.asns) == access
+
+    def test_prefixes_unique(self, population):
+        keys = [p.prefix24 for p in population]
+        assert len(keys) == len(set(keys))
+
+    def test_prefix_covered_by_its_announcement(self, population):
+        for prefix in population:
+            assert prefix.announcement.contains_prefix24(prefix.prefix24)
+
+    def test_announcement_owned_by_one_as(self, population):
+        owner: dict = {}
+        for prefix in population:
+            assert owner.setdefault(prefix.announcement, prefix.asn) == prefix.asn
+
+    def test_users_positive(self, population):
+        assert all(p.users >= 1 for p in population)
+
+    def test_metro_belongs_to_as(self, small_topology, population):
+        topo = small_topology.topology
+        for prefix in population:
+            assert prefix.metro in topo.as_info(prefix.asn).metros
+
+    def test_mobile_is_per_as(self, population):
+        """All prefixes of an AS share the AS's mobility class."""
+        for asn in population.asns:
+            flags = {p.mobile for p in population.in_as(asn)}
+            assert len(flags) == 1
+
+    def test_announce_to_is_subset_of_providers(self, small_topology, population):
+        topo = small_topology.topology
+        for prefix in population:
+            if prefix.announce_to is None:
+                continue
+            assert prefix.announce_to <= set(topo.providers_of(prefix.asn))
+
+    def test_announce_to_consistent_within_announcement(self, population):
+        scopes: dict = {}
+        for prefix in population:
+            scope = scopes.setdefault(prefix.announcement, prefix.announce_to)
+            assert scope == prefix.announce_to
+
+    def test_sparse_large_blocks(self, small_topology):
+        """Paper skew: /24s inside larger announcements have fewer users."""
+        params = PopulationParams(announcements_per_as=(3, 3))
+        pop = generate_population(
+            small_topology.topology, params, np.random.default_rng(17)
+        )
+        small_users = [p.users for p in pop if p.announcement.length == 24]
+        big_users = [p.users for p in pop if p.announcement.length == 20]
+        assert small_users and big_users
+        assert np.mean(big_users) < np.mean(small_users)
+
+    def test_deterministic(self, small_topology):
+        a = generate_population(
+            small_topology.topology, PopulationParams(), np.random.default_rng(3)
+        )
+        b = generate_population(
+            small_topology.topology, PopulationParams(), np.random.default_rng(3)
+        )
+        assert [p.prefix24 for p in a] == [p.prefix24 for p in b]
+        assert [p.users for p in a] == [p.users for p in b]
+
+    def test_lookup_api(self, population):
+        first = population.prefixes[0]
+        assert population.get(first.prefix24) is first
+        with pytest.raises(KeyError):
+            population.get(123456789 & 0xFFFFFF)
+        assert population.total_users() == sum(p.users for p in population)
+        assert first.announcement in population.announcements()

@@ -1,0 +1,42 @@
+"""Tests for repro.core.config: parameter validation and defaults."""
+
+import pytest
+
+from repro.core.config import BlameItConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        config = BlameItConfig()
+        assert config.tau == 0.8
+        assert config.min_aggregate_quartets == 5
+        assert config.min_quartet_samples == 10
+        assert config.history_days == 14
+        assert config.client_history_days == 3
+        assert config.run_interval_buckets == 3  # 15 minutes
+        assert config.background_interval_buckets == 144  # twice a day
+        assert config.churn_triggered_probes is True
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tau": 0.0},
+            {"tau": 1.5},
+            {"min_aggregate_quartets": 0},
+            {"min_quartet_samples": 0},
+            {"history_days": 0},
+            {"run_interval_buckets": 0},
+            {"probe_budget_per_window": -1},
+            {"background_interval_buckets": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BlameItConfig(**kwargs)
+
+    def test_frozen(self):
+        config = BlameItConfig()
+        with pytest.raises(AttributeError):
+            config.tau = 0.5

@@ -1,0 +1,194 @@
+"""Tests for repro.sim.faults: fault targeting, durations, the injector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.faults import (
+    Fault,
+    FaultInjector,
+    FaultRates,
+    FaultTarget,
+    SegmentKind,
+    sample_duration,
+    sample_magnitude_ms,
+)
+
+
+def _fault(target, start=10, duration=5, added=50.0, fid=0) -> Fault:
+    return Fault(fault_id=fid, target=target, start=start, duration=duration, added_ms=added)
+
+
+class TestFaultTarget:
+    def test_cloud_needs_location(self):
+        with pytest.raises(ValueError):
+            FaultTarget(kind=SegmentKind.CLOUD)
+
+    def test_middle_needs_asn(self):
+        with pytest.raises(ValueError):
+            FaultTarget(kind=SegmentKind.MIDDLE)
+
+    def test_client_needs_asn(self):
+        with pytest.raises(ValueError):
+            FaultTarget(kind=SegmentKind.CLIENT)
+
+
+class TestFaultApplicability:
+    PATH = (1, 10, 20, 30)
+
+    def test_activity_window(self):
+        fault = _fault(FaultTarget(kind=SegmentKind.CLOUD, location_id="edge-X"))
+        assert not fault.is_active(9)
+        assert fault.is_active(10)
+        assert fault.is_active(14)
+        assert not fault.is_active(15)
+        assert fault.end == 15
+
+    def test_cloud_scope(self):
+        fault = _fault(FaultTarget(kind=SegmentKind.CLOUD, location_id="edge-X"))
+        assert fault.applies_to("edge-X", self.PATH, 5, 30)
+        assert not fault.applies_to("edge-Y", self.PATH, 5, 30)
+
+    def test_middle_scope_global(self):
+        fault = _fault(FaultTarget(kind=SegmentKind.MIDDLE, asn=10))
+        assert fault.applies_to("edge-X", self.PATH, 5, 30)
+        assert not fault.applies_to("edge-X", (1, 11, 30), 5, 30)
+
+    def test_middle_endpoints_excluded(self):
+        """A 'middle' fault on the client AS's number must not match the
+        client hop."""
+        fault = _fault(FaultTarget(kind=SegmentKind.MIDDLE, asn=30))
+        assert not fault.applies_to("edge-X", self.PATH, 5, 30)
+
+    def test_middle_path_scoped(self):
+        fault = _fault(
+            FaultTarget(kind=SegmentKind.MIDDLE, asn=10, path_scope=(10, 20))
+        )
+        assert fault.applies_to("edge-X", self.PATH, 5, 30)
+        assert not fault.applies_to("edge-X", (1, 10, 21, 30), 5, 30)
+
+    def test_client_scope(self):
+        fault = _fault(FaultTarget(kind=SegmentKind.CLIENT, asn=30))
+        assert fault.applies_to("edge-X", self.PATH, 5, 30)
+        assert not fault.applies_to("edge-X", self.PATH, 5, 31)
+
+    def test_client_prefix_scoped(self):
+        fault = _fault(
+            FaultTarget(kind=SegmentKind.CLIENT, asn=30, prefixes=frozenset({5}))
+        )
+        assert fault.applies_to("edge-X", self.PATH, 5, 30)
+        assert not fault.applies_to("edge-X", self.PATH, 6, 30)
+
+    def test_validation(self):
+        target = FaultTarget(kind=SegmentKind.CLIENT, asn=30)
+        with pytest.raises(ValueError):
+            Fault(0, target, 0, 0, 50.0)
+        with pytest.raises(ValueError):
+            Fault(0, target, 0, 1, 0.0)
+        with pytest.raises(ValueError):
+            FaultTarget(
+                kind=SegmentKind.CLOUD, location_id="edge-X", affected_fraction=0.0
+            )
+
+    def test_partial_cloud_fault_hits_stable_subset(self):
+        target = FaultTarget(
+            kind=SegmentKind.CLOUD, location_id="edge-X", affected_fraction=0.5
+        )
+        fault = _fault(target)
+        hits = [
+            fault.applies_to("edge-X", self.PATH, prefix, 30)
+            for prefix in range(2000)
+        ]
+        fraction = sum(hits) / len(hits)
+        assert 0.4 < fraction < 0.6  # approximately the requested share
+        # Stable: the same prefixes hit every time.
+        assert hits == [
+            fault.applies_to("edge-X", self.PATH, prefix, 30)
+            for prefix in range(2000)
+        ]
+
+    def test_full_fraction_hits_everyone(self):
+        target = FaultTarget(kind=SegmentKind.CLOUD, location_id="edge-X")
+        fault = _fault(target)
+        assert all(
+            fault.applies_to("edge-X", self.PATH, prefix, 30)
+            for prefix in range(100)
+        )
+
+
+class TestDurationDistribution:
+    def test_long_tailed_mixture(self):
+        """Figure 4a: ~60 % of faults last one bucket, ~8 % exceed 2h."""
+        rng = np.random.default_rng(0)
+        durations = [sample_duration(rng) for _ in range(20000)]
+        fleeting = sum(1 for d in durations if d == 1) / len(durations)
+        long_lived = sum(1 for d in durations if d > 24) / len(durations)
+        assert 0.55 < fleeting < 0.65
+        assert 0.04 < long_lived < 0.13
+
+    def test_minimum_one_bucket(self):
+        rng = np.random.default_rng(1)
+        assert all(sample_duration(rng) >= 1 for _ in range(1000))
+
+    def test_magnitudes_in_range(self):
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            assert 25.0 <= sample_magnitude_ms(rng) <= 120.0
+
+
+class TestFaultInjector:
+    def _injector(self, rates=None):
+        return FaultInjector(
+            rates=rates or FaultRates(),
+            location_ids=("edge-A", "edge-B"),
+            middle_asns_pool=(10, 11),
+            client_asns=(30, 31, 32),
+        )
+
+    def test_generation_within_horizon(self):
+        faults = self._injector().generate(288 * 7, np.random.default_rng(0))
+        assert faults
+        for fault in faults:
+            assert 0 <= fault.start < 288 * 7
+
+    def test_sorted_by_start(self):
+        faults = self._injector().generate(288 * 7, np.random.default_rng(0))
+        starts = [f.start for f in faults]
+        assert starts == sorted(starts)
+
+    def test_rate_scaling(self):
+        rng = np.random.default_rng(3)
+        rates = FaultRates(cloud_per_day=0.0, middle_per_day=0.0, client_per_day=50.0)
+        faults = self._injector(rates).generate(288 * 4, rng)
+        kinds = {f.target.kind for f in faults}
+        assert kinds == {SegmentKind.CLIENT}
+        assert 120 < len(faults) < 280  # Poisson(200)
+
+    def test_unique_ids(self):
+        faults = self._injector().generate(288 * 7, np.random.default_rng(0))
+        ids = [f.fault_id for f in faults]
+        assert len(ids) == len(set(ids))
+
+    def test_empty_pools_skipped(self):
+        injector = FaultInjector(
+            rates=FaultRates(),
+            location_ids=(),
+            middle_asns_pool=(),
+            client_asns=(30,),
+        )
+        faults = injector.generate(288, np.random.default_rng(0))
+        assert all(f.target.kind is SegmentKind.CLIENT for f in faults)
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_targets_come_from_pools(self, seed):
+        injector = self._injector()
+        for fault in injector.generate(288, np.random.default_rng(seed)):
+            target = fault.target
+            if target.kind is SegmentKind.CLOUD:
+                assert target.location_id in ("edge-A", "edge-B")
+            elif target.kind is SegmentKind.MIDDLE:
+                assert target.asn in (10, 11)
+            else:
+                assert target.asn in (30, 31, 32)

@@ -1,0 +1,87 @@
+"""Tests for repro.sim.incidents: labelled incident generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.faults import SegmentKind
+from repro.sim.incidents import (
+    IncidentArchetype,
+    generate_incidents,
+)
+from repro.sim.workload import local_hour
+
+
+@pytest.fixture(scope="module")
+def specs(small_world):
+    return generate_incidents(small_world, 15, np.random.default_rng(3))
+
+
+class TestGenerateIncidents:
+    def test_count_and_ids(self, specs):
+        assert len(specs) == 15
+        assert [s.incident_id for s in specs] == list(range(15))
+
+    def test_archetypes_round_robin(self, specs):
+        archetypes = [s.archetype for s in specs]
+        assert set(archetypes) == set(IncidentArchetype)
+        assert archetypes[0] == archetypes[5] == archetypes[10]
+
+    def test_expected_segment_consistent_with_archetype(self, specs):
+        expectations = {
+            IncidentArchetype.CLOUD_MAINTENANCE: SegmentKind.CLOUD,
+            IncidentArchetype.CLOUD_OVERLOAD: SegmentKind.CLOUD,
+            IncidentArchetype.PEERING_FAULT: SegmentKind.MIDDLE,
+            IncidentArchetype.TRAFFIC_SHIFT: SegmentKind.MIDDLE,
+            IncidentArchetype.CLIENT_ISP: SegmentKind.CLIENT,
+        }
+        for spec in specs:
+            assert spec.expected_segment is expectations[spec.archetype]
+
+    def test_cloud_incidents_blame_cloud_asn(self, specs, small_world):
+        for spec in specs:
+            if spec.expected_segment is SegmentKind.CLOUD:
+                assert spec.expected_culprit_asn == small_world.cloud_asn
+
+    def test_faults_within_horizon(self, specs, small_world):
+        for spec in specs:
+            for fault in spec.faults:
+                assert 0 <= fault.start < small_world.params.horizon_buckets
+
+    def test_realize_ground_truth(self, specs, small_world):
+        """The realized scenario's oracle must agree with the label for at
+        least one affected path during the incident."""
+        for spec in specs[:5]:
+            scenario = spec.realize(small_world)
+            time = spec.start + 1
+            hits = 0
+            for slot in small_world.slots:
+                truth = scenario.true_culprit(
+                    slot.location.location_id, slot.client.prefix24, time
+                )
+                if truth == (spec.expected_segment, spec.expected_culprit_asn):
+                    hits += 1
+            assert hits > 0, spec.description
+
+    def test_busy_hour_starts(self, specs, small_world):
+        """Cloud incidents start during the location's local busy hours."""
+        for spec in specs:
+            if spec.archetype is not IncidentArchetype.CLOUD_MAINTENANCE:
+                continue
+            location_id = spec.faults[0].target.location_id
+            metro = small_world.location_by_id(location_id).metro
+            hour = local_hour(metro, spec.start)
+            assert 9.0 <= hour <= 21.0
+
+    def test_traffic_shift_has_reroutes(self, specs):
+        for spec in specs:
+            if spec.archetype is IncidentArchetype.TRAFFIC_SHIFT:
+                # Either a real shift (2 reroutes) or the documented
+                # fallback to a plain middle fault (0 reroutes).
+                assert len(spec.reroutes) in (0, 2)
+
+    def test_deterministic(self, small_world):
+        a = generate_incidents(small_world, 8, np.random.default_rng(5))
+        b = generate_incidents(small_world, 8, np.random.default_rng(5))
+        assert [(s.archetype, s.start, s.duration) for s in a] == [
+            (s.archetype, s.start, s.duration) for s in b
+        ]

@@ -1,0 +1,130 @@
+"""Tests for repro.io: scenario and report (de)serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.io import (
+    load_scenario,
+    params_from_dict,
+    params_to_dict,
+    report_to_dict,
+    save_report,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.net.geo import Region
+from repro.sim.faults import Direction, Fault, FaultTarget, SegmentKind
+from repro.sim.scenario import Scenario, ScenarioParams
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ScenarioParams(
+        seed=13,
+        regions=(Region.USA, Region.BRAZIL),
+        duration_days=1,
+        locations_per_region=1,
+        rings=2,
+    )
+
+
+class TestParamsRoundTrip:
+    def test_round_trip_equality(self, params):
+        assert params_from_dict(params_to_dict(params)) == params
+
+    def test_dict_is_json_compatible(self, params):
+        json.dumps(params_to_dict(params))  # must not raise
+
+    def test_defaults_round_trip(self):
+        params = ScenarioParams()
+        assert params_from_dict(params_to_dict(params)) == params
+
+
+class TestScenarioRoundTrip:
+    @pytest.fixture(scope="class")
+    def scenario(self, params):
+        from repro.sim.scenario import build_world
+
+        world = build_world(params)
+        faults = (
+            Fault(
+                fault_id=0,
+                target=FaultTarget(
+                    kind=SegmentKind.CLOUD,
+                    location_id=world.locations[0].location_id,
+                    affected_fraction=0.7,
+                ),
+                start=100,
+                duration=10,
+                added_ms=70.0,
+            ),
+            Fault(
+                fault_id=1,
+                target=FaultTarget(
+                    kind=SegmentKind.MIDDLE,
+                    asn=world.middle_asn_pool()[0],
+                    direction=Direction.REVERSE,
+                    path_scope=(world.middle_asn_pool()[0],),
+                ),
+                start=120,
+                duration=6,
+                added_ms=50.0,
+            ),
+        )
+        return Scenario(world, faults, ())
+
+    def test_round_trip_preserves_faults(self, scenario):
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert rebuilt.faults == scenario.faults
+        assert rebuilt.reroutes == scenario.reroutes
+
+    def test_round_trip_reproduces_world(self, scenario):
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert len(rebuilt.world.slots) == len(scenario.world.slots)
+        original = scenario.generate_quartets(105, np.random.default_rng(0))
+        again = rebuilt.generate_quartets(105, np.random.default_rng(0))
+        assert original == again
+
+    def test_file_round_trip(self, scenario, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_scenario(scenario, path)
+        rebuilt = load_scenario(path)
+        assert rebuilt.faults == scenario.faults
+
+    def test_version_check(self, scenario):
+        data = scenario_to_dict(scenario)
+        data["format_version"] = 999
+        with pytest.raises(ValueError):
+            scenario_from_dict(data)
+
+    def test_generated_churn_round_trips(self, params):
+        scenario = Scenario.build(params)
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert rebuilt.reroutes == scenario.reroutes
+        assert len(rebuilt.listener.log) == len(scenario.listener.log)
+
+
+class TestReportSerialization:
+    def test_report_summary(self, params, tmp_path):
+        scenario = Scenario.build(params)
+        pipeline = BlameItPipeline(scenario, config=BlameItConfig(history_days=1))
+        pipeline.warmup(0, 96, stride=4)
+        report = pipeline.run(100, 140)
+        data = report_to_dict(report)
+        json.dumps(data)  # JSON-compatible
+        assert data["window"] == [100, 140]
+        assert data["total_quartets"] == report.total_quartets
+        assert set(data["probes"]) == {
+            "on_demand",
+            "background",
+            "churn_triggered",
+            "bootstrap",
+        }
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        assert json.loads(path.read_text())["window"] == [100, 140]

@@ -1,0 +1,92 @@
+"""Tests for repro.core.localize, including the paper's §5.2 example."""
+
+import pytest
+
+from repro.cloud.traceroute import TracerouteResult
+from repro.core.localize import localize_culprit
+
+
+def _trace(cumulative, path=(1, 10, 20, 30), loc="edge-A", prefix=1, time=0):
+    return TracerouteResult(
+        location_id=loc,
+        prefix24=prefix,
+        time=time,
+        path=path,
+        cumulative_ms=tuple(float(x) for x in cumulative),
+    )
+
+
+class TestPaperExample:
+    """§5.2: path X - m1 - m2 - c; background (4, 6, 8, 9); during the
+    incident (4, 60, 62, 64). m1's contribution went 2ms → 56ms."""
+
+    def test_m1_blamed(self):
+        baseline = _trace((4, 6, 8, 9), time=0)
+        current = _trace((4, 60, 62, 64), time=12)
+        verdict = localize_culprit(baseline, current)
+        assert verdict.asn == 10  # m1 is the first middle hop
+        assert verdict.delta_ms == pytest.approx(54.0)
+        assert verdict.paths_match
+        assert verdict.baseline_age == 12
+        assert verdict.confident
+
+
+class TestComparison:
+    def test_cloud_culprit(self):
+        baseline = _trace((4, 6, 8, 9))
+        current = _trace((50, 52, 54, 55), time=1)
+        assert localize_culprit(baseline, current).asn == 1
+
+    def test_client_culprit(self):
+        baseline = _trace((4, 6, 8, 9))
+        current = _trace((4, 6, 8, 70), time=1)
+        assert localize_culprit(baseline, current).asn == 30
+
+    def test_no_increase_no_verdict(self):
+        baseline = _trace((4, 6, 8, 9))
+        current = _trace((4.5, 6.5, 8.2, 9.4), time=1)
+        verdict = localize_culprit(baseline, current)
+        assert verdict.asn is None
+        assert not verdict.confident
+
+    def test_min_delta_configurable(self):
+        baseline = _trace((4, 6, 8, 9))
+        current = _trace((4, 13, 15, 16), time=1)  # m1 +7ms
+        assert localize_culprit(baseline, current, min_delta_ms=10.0).asn is None
+        assert localize_culprit(baseline, current, min_delta_ms=5.0).asn == 10
+
+    def test_largest_increase_wins(self):
+        baseline = _trace((4, 6, 8, 9))
+        current = _trace((4, 16, 48, 49), time=1)  # m1 +10, m2 +30
+        assert localize_culprit(baseline, current).asn == 20
+
+
+class TestStaleBaselines:
+    def test_path_mismatch_flagged(self):
+        baseline = _trace((4, 6, 8, 9), path=(1, 10, 20, 30))
+        current = _trace((4, 40, 42, 43), path=(1, 11, 20, 30), time=1)
+        verdict = localize_culprit(baseline, current)
+        assert not verdict.paths_match
+        assert not verdict.confident
+
+    def test_new_as_full_contribution_counts(self):
+        """A stale baseline makes a merely-new AS look like the culprit —
+        the Figure 13 failure mode."""
+        baseline = _trace((4, 6, 8, 9), path=(1, 10, 20, 30))
+        # AS 11 replaced AS 10; it contributes a healthy 36ms but has no
+        # baseline entry, so it shows the biggest "increase".
+        current = _trace((4, 40, 42, 43), path=(1, 11, 20, 30), time=1)
+        assert localize_culprit(baseline, current).asn == 11
+
+    def test_cross_prefix_same_path_ok(self):
+        """Background probes cover paths, not prefixes; comparing across
+        /24s on the same path is supported."""
+        baseline = _trace((4, 6, 8, 9), prefix=1)
+        current = _trace((4, 60, 62, 64), prefix=2, time=1)
+        assert localize_culprit(baseline, current).asn == 10
+
+    def test_cross_location_rejected(self):
+        baseline = _trace((4, 6, 8, 9), loc="edge-A")
+        current = _trace((4, 60, 62, 64), loc="edge-B", time=1)
+        with pytest.raises(ValueError):
+            localize_culprit(baseline, current)

@@ -1,0 +1,55 @@
+"""Tests for repro.cloud.locations."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.locations import default_rtt_targets, make_locations
+from repro.net.geo import Region
+
+
+class TestRTTTargets:
+    def test_mobile_target_looser(self):
+        targets = default_rtt_targets()
+        for region in Region:
+            assert targets.target_ms(region, mobile=True) > targets.target_ms(
+                region, mobile=False
+            )
+
+    def test_usa_aggressive(self):
+        """The Figure 2 inversion: USA thresholds are the tightest."""
+        targets = default_rtt_targets()
+        usa = targets.target_ms(Region.USA, mobile=False)
+        for region in Region:
+            assert usa <= targets.target_ms(region, mobile=False)
+
+
+class TestMakeLocations:
+    def test_count_and_regions(self):
+        rng = np.random.default_rng(0)
+        locations = make_locations((Region.USA, Region.BRAZIL), 2, rng)
+        assert len(locations) == 4
+        assert sum(1 for l in locations if l.region is Region.USA) == 2
+        assert sum(1 for l in locations if l.region is Region.BRAZIL) == 2
+
+    def test_distinct_metros_within_region(self):
+        rng = np.random.default_rng(0)
+        locations = make_locations((Region.USA,), 4, rng)
+        metros = [l.metro.name for l in locations]
+        assert len(set(metros)) == 4
+
+    def test_ids_unique(self):
+        rng = np.random.default_rng(0)
+        locations = make_locations(tuple(Region), 3, rng)
+        ids = [l.location_id for l in locations]
+        assert len(ids) == len(set(ids))
+
+    def test_overflow_cycles_metros(self):
+        """More locations than metros reuses metros with a suffix."""
+        rng = np.random.default_rng(0)
+        locations = make_locations((Region.BRAZIL,), 5, rng)  # 3 metros
+        assert len(locations) == 5
+        assert len({l.location_id for l in locations}) == 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_locations((Region.USA,), 0, np.random.default_rng(0))

@@ -1,0 +1,199 @@
+"""Tests for repro.core.passive: every branch of Algorithm 1."""
+
+import pytest
+
+from repro.cloud.locations import RTTTargets
+from repro.core.blame import Blame
+from repro.core.config import BlameItConfig
+from repro.core.passive import PassiveLocalizer
+from repro.core.quartet import Quartet
+from repro.core.thresholds import ExpectedRTTTable
+from repro.net.geo import Region
+
+TARGET = 50.0
+
+
+def _targets() -> RTTTargets:
+    return RTTTargets(by_region={Region.USA: (TARGET, TARGET + 30.0)})
+
+
+def _quartet(
+    prefix=1,
+    loc="edge-A",
+    rtt=100.0,
+    middle=(10,),
+    n=20,
+    mobile=False,
+    asn=65000,
+    time=0,
+) -> Quartet:
+    return Quartet(
+        time=time,
+        prefix24=prefix,
+        location_id=loc,
+        mobile=mobile,
+        mean_rtt_ms=rtt,
+        n_samples=n,
+        users=10,
+        client_asn=asn,
+        middle=middle,
+        region=Region.USA,
+    )
+
+
+def _table(cloud=30.0, middle=30.0) -> ExpectedRTTTable:
+    return ExpectedRTTTable(
+        cloud={("edge-A", False): cloud, ("edge-B", False): cloud},
+        middle={((10,), False): middle, ((11,), False): middle},
+    )
+
+
+def _localizer(**overrides) -> PassiveLocalizer:
+    return PassiveLocalizer(BlameItConfig(**overrides), _targets())
+
+
+class TestCloudBranch:
+    def test_cloud_blamed_when_location_wide(self):
+        """All IP-/24s at the location above expected RTT → cloud."""
+        quartets = [_quartet(prefix=i, rtt=90.0) for i in range(10)]
+        results = _localizer().assign(quartets, _table())
+        assert len(results) == 10
+        assert all(r.blame is Blame.CLOUD for r in results)
+        assert all(r.cloud_bad_fraction == pytest.approx(1.0) for r in results)
+
+    def test_insufficient_when_few_quartets_at_location(self):
+        quartets = [_quartet(prefix=i, rtt=90.0) for i in range(4)]
+        results = _localizer().assign(quartets, _table())
+        assert all(r.blame is Blame.INSUFFICIENT for r in results)
+
+    def test_cloud_not_blamed_below_tau(self):
+        """Only half the location's quartets bad → fall through."""
+        bad = [_quartet(prefix=i, rtt=90.0, middle=(10,)) for i in range(6)]
+        good = [_quartet(prefix=100 + i, rtt=20.0, middle=(11,)) for i in range(6)]
+        results = _localizer().assign(bad + good, _table())
+        assert all(r.blame is not Blame.CLOUD for r in results)
+
+    def test_unweighted_by_samples(self):
+        """A single high-volume healthy /24 cannot mask widespread badness
+        (§4.2: CalcBadFraction does not weight by RTT sample counts)."""
+        bad = [_quartet(prefix=i, rtt=90.0, n=10) for i in range(9)]
+        whale = [_quartet(prefix=999, rtt=20.0, n=100_000)]
+        results = _localizer().assign(bad + whale, _table())
+        blamed = [r for r in results if r.quartet.prefix24 != 999]
+        assert all(r.blame is Blame.CLOUD for r in blamed)
+
+    def test_learned_threshold_catches_shift(self):
+        """§4.3 example: RTTs in [40, 70] with target 50 but learned
+        expected 40 → cloud correctly blamed."""
+        rtts = [40 + 3 * i for i in range(11)]  # 40..70
+        quartets = [
+            _quartet(prefix=i, rtt=float(r)) for i, r in enumerate(rtts)
+        ]
+        results = _localizer().assign(quartets, _table(cloud=40.0))
+        # Only quartets above the *target* are "bad" and get results...
+        assert results
+        assert all(r.blame is Blame.CLOUD for r in results)
+
+
+class TestMiddleBranch:
+    def test_middle_blamed_when_path_wide(self):
+        """One path fully bad, the location otherwise healthy."""
+        bad = [_quartet(prefix=i, rtt=90.0, middle=(10,)) for i in range(8)]
+        good = [_quartet(prefix=100 + i, rtt=20.0, middle=(11,)) for i in range(12)]
+        results = _localizer().assign(bad + good, _table())
+        assert len(results) == 8
+        assert all(r.blame is Blame.MIDDLE for r in results)
+        assert all(r.middle_bad_fraction == pytest.approx(1.0) for r in results)
+
+    def test_insufficient_when_path_thin(self):
+        bad = [_quartet(prefix=i, rtt=90.0, middle=(10,)) for i in range(3)]
+        good = [_quartet(prefix=100 + i, rtt=20.0, middle=(11,)) for i in range(12)]
+        results = _localizer().assign(bad + good, _table())
+        assert all(r.blame is Blame.INSUFFICIENT for r in results)
+
+    def test_unknown_middle_expected_insufficient(self):
+        """A path with no learned expected RTT cannot be judged."""
+        bad = [_quartet(prefix=i, rtt=90.0, middle=(77,)) for i in range(8)]
+        good = [_quartet(prefix=100 + i, rtt=20.0, middle=(11,)) for i in range(12)]
+        results = _localizer().assign(bad + good, _table())
+        assert all(r.blame is Blame.INSUFFICIENT for r in results)
+
+
+class TestClientAndAmbiguous:
+    def _mixed_path_quartets(self):
+        """One bad client on a path where others are healthy."""
+        bad = [_quartet(prefix=1, rtt=90.0, middle=(10,), asn=65001)]
+        peers = [
+            _quartet(prefix=100 + i, rtt=20.0, middle=(10,)) for i in range(8)
+        ]
+        filler = [
+            _quartet(prefix=200 + i, rtt=20.0, middle=(11,)) for i in range(8)
+        ]
+        return bad, peers, filler
+
+    def test_client_blamed(self):
+        bad, peers, filler = self._mixed_path_quartets()
+        results = _localizer().assign(bad + peers + filler, _table())
+        assert len(results) == 1
+        assert results[0].blame is Blame.CLIENT
+        assert results[0].blamed_asn == 65001
+
+    def test_ambiguous_when_good_elsewhere(self):
+        bad, peers, filler = self._mixed_path_quartets()
+        elsewhere = [_quartet(prefix=1, loc="edge-B", rtt=20.0, asn=65001)]
+        results = _localizer().assign(bad + peers + filler + elsewhere, _table())
+        blamed = [r for r in results if r.quartet.prefix24 == 1]
+        assert len(blamed) == 1
+        assert blamed[0].blame is Blame.AMBIGUOUS
+
+    def test_bad_elsewhere_does_not_make_ambiguous(self):
+        bad, peers, filler = self._mixed_path_quartets()
+        elsewhere_bad = [_quartet(prefix=1, loc="edge-B", rtt=95.0, asn=65001)]
+        results = _localizer().assign(bad + peers + filler + elsewhere_bad, _table())
+        blamed = [r for r in results if r.quartet.location_id == "edge-A"]
+        assert blamed[0].blame is Blame.CLIENT
+
+
+class TestGating:
+    def test_sample_gate_excludes_thin_quartets(self):
+        thin = [_quartet(prefix=i, rtt=90.0, n=5) for i in range(10)]
+        results = _localizer().assign(thin, _table())
+        assert results == []
+
+    def test_good_quartets_produce_no_results(self):
+        good = [_quartet(prefix=i, rtt=20.0) for i in range(10)]
+        assert _localizer().assign(good, _table()) == []
+
+    def test_mobile_uses_mobile_target(self):
+        """RTT between the fixed and mobile targets: bad only for fixed."""
+        rtt = TARGET + 10.0  # below mobile target (TARGET + 30)
+        fixed = [_quartet(prefix=i, rtt=rtt) for i in range(6)]
+        mobile = [
+            _quartet(prefix=100 + i, rtt=rtt, mobile=True) for i in range(6)
+        ]
+        table = ExpectedRTTTable(
+            cloud={("edge-A", False): 30.0, ("edge-A", True): 30.0},
+            middle={((10,), False): 30.0, ((10,), True): 30.0},
+        )
+        results = _localizer().assign(fixed + mobile, table)
+        assert {r.quartet.mobile for r in results} == {False}
+
+
+class TestWindowing:
+    def test_assign_window_groups_by_bucket(self):
+        """Aggregate statistics must not leak across buckets: 4 quartets
+        in each of two buckets is insufficient even though 8 > 5."""
+        bucket0 = [_quartet(prefix=i, rtt=90.0, time=0) for i in range(4)]
+        bucket1 = [_quartet(prefix=i, rtt=90.0, time=1) for i in range(4)]
+        results = _localizer().assign_window(bucket0 + bucket1, _table())
+        assert len(results) == 8
+        assert all(r.blame is Blame.INSUFFICIENT for r in results)
+
+    def test_tau_override(self):
+        quartets = [_quartet(prefix=i, rtt=90.0) for i in range(6)] + [
+            _quartet(prefix=50, rtt=20.0)
+        ]
+        strict = _localizer(tau=1.0).assign(quartets, _table())
+        assert all(r.blame is not Blame.CLOUD for r in strict)
+        lax = _localizer(tau=0.5).assign(quartets, _table())
+        assert all(r.blame is Blame.CLOUD for r in lax)

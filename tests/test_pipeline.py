@@ -1,0 +1,145 @@
+"""Integration tests for repro.core.pipeline over small scenarios."""
+
+import pytest
+
+from repro.core.blame import Blame
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.net.asn import middle_asns
+from repro.sim.faults import Fault, FaultTarget, SegmentKind
+from repro.sim.scenario import Scenario
+
+
+def _fast_config(**overrides) -> BlameItConfig:
+    defaults = dict(history_days=1, background_interval_buckets=36)
+    defaults.update(overrides)
+    return BlameItConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def warm_pipeline_report(small_world):
+    """One pipeline run over a scenario with a known cloud fault."""
+    location = small_world.locations[0]
+    fault = Fault(
+        fault_id=0,
+        target=FaultTarget(kind=SegmentKind.CLOUD, location_id=location.location_id),
+        start=180,
+        duration=12,
+        added_ms=80.0,
+    )
+    scenario = Scenario(small_world, (fault,), ())
+    pipeline = BlameItPipeline(scenario, config=_fast_config())
+    pipeline.warmup(0, 144, stride=3)
+    report = pipeline.run(150, 220)
+    return location, report
+
+
+class TestCloudFaultRun:
+    def test_cloud_blames_dominate(self, warm_pipeline_report):
+        _, report = warm_pipeline_report
+        assert report.blame_counts.get(Blame.CLOUD, 0) > 0
+        fractions = report.blame_fractions()
+        assert fractions[Blame.CLOUD] == max(
+            fractions[b] for b in (Blame.CLOUD, Blame.MIDDLE, Blame.CLIENT)
+        )
+
+    def test_cloud_issue_tracked(self, warm_pipeline_report):
+        location, report = warm_pipeline_report
+        assert any(
+            issue.key == location.location_id for issue in report.closed_cloud
+        )
+
+    def test_alert_emitted_for_fault(self, warm_pipeline_report):
+        location, report = warm_pipeline_report
+        cloud_alerts = [a for a in report.alerts if a.blame is Blame.CLOUD]
+        assert cloud_alerts
+        assert cloud_alerts[0].location_id == location.location_id
+        assert cloud_alerts[0].culprit_asn == 8075
+
+    def test_quartet_accounting(self, warm_pipeline_report):
+        _, report = warm_pipeline_report
+        assert report.total_quartets > 0
+        assert 0 < report.bad_quartets <= report.total_quartets
+
+    def test_probe_accounting_consistent(self, warm_pipeline_report):
+        _, report = warm_pipeline_report
+        assert report.probes_total == (
+            report.probes_on_demand + report.probes_background + report.probes_bootstrap
+        )
+        assert report.probes_bootstrap > 0
+
+    def test_durations_by_category_structure(self, warm_pipeline_report):
+        _, report = warm_pipeline_report
+        durations = report.durations_by_category()
+        assert set(durations) == {Blame.CLOUD, Blame.MIDDLE, Blame.CLIENT}
+        assert all(d >= 1 for ds in durations.values() for d in ds)
+
+
+class TestMiddleFaultRun:
+    def test_middle_issue_localized_to_faulty_as(self, small_world):
+        slot = next(
+            s
+            for s in small_world.slots
+            if len(middle_asns(small_world.mapper.path_for(s.location, s.client) or (0, 0))) >= 1
+        )
+        path = small_world.mapper.path_for(slot.location, slot.client)
+        culprit = middle_asns(path)[0]
+        fault = Fault(
+            fault_id=0,
+            target=FaultTarget(kind=SegmentKind.MIDDLE, asn=culprit),
+            start=180,
+            duration=12,
+            added_ms=90.0,
+        )
+        scenario = Scenario(small_world, (fault,), ())
+        pipeline = BlameItPipeline(scenario, config=_fast_config())
+        pipeline.warmup(0, 144, stride=3)
+        report = pipeline.run(150, 210)
+        verdicts = [
+            item.verdict.asn
+            for item in report.localized
+            if item.verdict is not None and item.verdict.asn is not None
+        ]
+        assert culprit in verdicts
+
+    def test_budget_zero_disables_on_demand(self, small_world):
+        fault = Fault(
+            fault_id=0,
+            target=FaultTarget(
+                kind=SegmentKind.MIDDLE, asn=small_world.middle_asn_pool()[0]
+            ),
+            start=180,
+            duration=12,
+            added_ms=90.0,
+        )
+        scenario = Scenario(small_world, (fault,), ())
+        pipeline = BlameItPipeline(
+            scenario, config=_fast_config(probe_budget_per_window=0)
+        )
+        pipeline.warmup(0, 72, stride=3)
+        report = pipeline.run(150, 200)
+        assert report.probes_on_demand == 0
+        assert report.localized == []
+
+
+class TestFixedTable:
+    def test_fixed_table_skips_learning(self, small_world):
+        scenario = Scenario(small_world, (), ())
+        trainer = BlameItPipeline(scenario, config=_fast_config())
+        trainer.warmup(0, 144, stride=3)
+        table = trainer.learner.table()
+        pipeline = BlameItPipeline(scenario, config=_fast_config(), fixed_table=table)
+        report = pipeline.run(150, 165)
+        assert report.total_quartets > 0
+        # The internal learner never saw anything.
+        assert pipeline.learner.table().cloud == {}
+
+
+class TestHealthyRun:
+    def test_no_faults_low_badness(self, small_world):
+        scenario = Scenario(small_world, (), ())
+        pipeline = BlameItPipeline(scenario, config=_fast_config())
+        pipeline.warmup(0, 144, stride=3)
+        report = pipeline.run(150, 200)
+        assert report.bad_quartets <= report.total_quartets * 0.05
+        assert report.probes_on_demand <= 5

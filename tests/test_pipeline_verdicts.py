@@ -1,0 +1,114 @@
+"""Unit tests for verdict aggregation and the client-verify flow."""
+
+import pytest
+
+from repro.core.background import BaselineStore, ReverseBaselineStore
+from repro.core.localize import CulpritVerdict
+from repro.core.pipeline import BlameItPipeline, LocalizedIssue
+from repro.cloud.traceroute import TracerouteResult
+
+
+def _item(key, asn, delta, match=True, category="middle"):
+    verdict = (
+        None
+        if asn == "none"
+        else CulpritVerdict(asn=asn, delta_ms=delta, paths_match=match, baseline_age=1)
+    )
+    return LocalizedIssue(
+        issue_key=key,
+        prefix24=1,
+        probed_at=10,
+        priority=1.0,
+        verdict=verdict,
+        category=category,
+    )
+
+
+class TestBestVerdicts:
+    def test_largest_effective_delta_wins(self):
+        items = [
+            _item(("edge-A", (10,)), 10, 50.0, match=True),
+            _item(("edge-A", (10,)), 11, 20.0, match=True),
+        ]
+        best = BlameItPipeline.best_verdicts_by_key(items)
+        assert best[("edge-A", (10,))].asn == 10
+
+    def test_mismatched_path_discounted(self):
+        """A mismatched-baseline verdict needs a substantially larger
+        delta to beat an aligned one (0.6 discount)."""
+        items = [
+            _item(("edge-A", (10,)), 10, 40.0, match=True),
+            _item(("edge-A", (10,)), 11, 50.0, match=False),  # 50*0.6=30 < 40
+        ]
+        best = BlameItPipeline.best_verdicts_by_key(items)
+        assert best[("edge-A", (10,))].asn == 10
+        items[1] = _item(("edge-A", (10,)), 11, 80.0, match=False)  # 48 > 40
+        best = BlameItPipeline.best_verdicts_by_key(items)
+        assert best[("edge-A", (10,))].asn == 11
+
+    def test_unnamed_verdicts_ignored(self):
+        items = [
+            _item(("edge-A", (10,)), "none", 0.0),
+            _item(("edge-A", (10,)), 12, 9.0),
+        ]
+        best = BlameItPipeline.best_verdicts_by_key(items)
+        assert best[("edge-A", (10,))].asn == 12
+
+    def test_keys_independent(self):
+        items = [
+            _item(("edge-A", (10,)), 10, 50.0),
+            _item(("edge-B", (11,)), 11, 5.0),
+        ]
+        best = BlameItPipeline.best_verdicts_by_key(items)
+        assert best[("edge-A", (10,))].asn == 10
+        assert best[("edge-B", (11,))].asn == 11
+
+    def test_empty(self):
+        assert BlameItPipeline.best_verdicts_by_key([]) == {}
+
+
+def _trace(path, cumulative, loc="edge-A", prefix=1, time=0):
+    return TracerouteResult(
+        location_id=loc,
+        prefix24=prefix,
+        time=time,
+        path=path,
+        cumulative_ms=tuple(float(c) for c in cumulative),
+    )
+
+
+class TestReverseBaselineStore:
+    def test_full_path_keying(self):
+        """Two reverse paths sharing a middle must not collide."""
+        store = ReverseBaselineStore()
+        store.put(_trace((30, 10, 1), (5, 8, 9), prefix=100))
+        store.put(_trace((31, 10, 1), (7, 10, 11), prefix=200))
+        found = store.get("anything", 999, (30, 10, 1))
+        assert found is not None
+        assert found.path == (30, 10, 1)
+        other = store.get("anything", 999, (31, 10, 1))
+        assert other.path == (31, 10, 1)
+
+    def test_location_agnostic(self):
+        store = ReverseBaselineStore()
+        store.put(_trace((30, 10, 1), (5, 8, 9), loc="edge-X"))
+        assert store.get("edge-Y", 1, (30, 10, 1)) is not None
+
+    def test_prefix_fallback(self):
+        store = ReverseBaselineStore()
+        store.put(_trace((30, 10, 1), (5, 8, 9), prefix=100))
+        # Unknown path, known prefix → fall back.
+        found = store.get("any", 100, (30, 11, 1))
+        assert found is not None
+
+    def test_before_filter(self):
+        store = ReverseBaselineStore()
+        store.put(_trace((30, 10, 1), (5, 8, 9), time=2))
+        store.put(_trace((30, 10, 1), (5, 8, 9), time=9))
+        assert store.get("any", 1, (30, 10, 1), before=9).time == 2
+
+    def test_independent_from_forward_store(self):
+        forward = BaselineStore()
+        forward.put(_trace((1, 10, 30), (2, 4, 6)))
+        reverse = ReverseBaselineStore()
+        assert reverse.get("edge-A", 1, (1, 10, 30)) is None

@@ -1,0 +1,120 @@
+"""Tests for repro.core.prediction: duration and client-count predictors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.prediction import ClientCountPredictor, DurationPredictor
+
+
+class TestDurationPredictor:
+    def test_prior_on_cold_start(self):
+        predictor = DurationPredictor(prior_mean_buckets=4.0)
+        assert predictor.expected_remaining(0) == pytest.approx(4.0)
+
+    def test_mean_residual_life(self):
+        predictor = DurationPredictor()
+        predictor.observe_all([2, 4, 10])
+        # Given elapsed 3: survivors {4, 10}; E[D|D>3] = 7 → remaining 4.
+        assert predictor.expected_remaining(3) == pytest.approx(4.0)
+
+    def test_long_tail_raises_expectation(self):
+        """The §5.3 property: having lasted longer predicts lasting longer
+        under a long-tailed distribution."""
+        predictor = DurationPredictor()
+        durations = [1] * 60 + [3] * 20 + [12] * 12 + [100] * 8
+        predictor.observe_all(durations)
+        short = predictor.expected_remaining(0)
+        longer = predictor.expected_remaining(10)
+        assert longer > short
+
+    def test_survival_probability(self):
+        predictor = DurationPredictor()
+        predictor.observe_all([2, 4, 10, 20])
+        # Given > 3: survivors {4, 10, 20}; of those > 9: {10, 20}.
+        assert predictor.survival_probability(3, 6) == pytest.approx(2 / 3)
+        assert predictor.survival_probability(0, 0) == pytest.approx(1.0)
+        assert predictor.survival_probability(100, 1) == 0.0
+
+    def test_per_key_history_preferred(self):
+        predictor = DurationPredictor(min_key_history=2)
+        predictor.observe_all([1, 1, 1, 1, 1])  # global: fleeting
+        predictor.observe_all([50, 60], key="slow-path")
+        slow = predictor.expected_remaining(0, key="slow-path")
+        unseen = predictor.expected_remaining(0, key="unseen")
+        assert slow > 40  # per-key history wins
+        assert unseen < slow  # unseen keys see the (diluted) global pool
+
+    def test_sparse_key_falls_back_to_global(self):
+        predictor = DurationPredictor(min_key_history=5)
+        predictor.observe_all([1, 1, 1, 1])
+        predictor.observe(100, key="rare")
+        assert predictor.expected_remaining(0, key="rare") < 50
+
+    def test_validation(self):
+        predictor = DurationPredictor()
+        with pytest.raises(ValueError):
+            predictor.observe(0)
+        with pytest.raises(ValueError):
+            predictor.expected_remaining(-1)
+        with pytest.raises(ValueError):
+            predictor.survival_probability(-1, 0)
+        with pytest.raises(ValueError):
+            DurationPredictor(min_key_history=0)
+        with pytest.raises(ValueError):
+            DurationPredictor(prior_mean_buckets=0)
+
+    @given(
+        durations=st.lists(st.integers(min_value=1, max_value=200), min_size=1),
+        elapsed=st.integers(min_value=0, max_value=100),
+    )
+    def test_remaining_nonnegative(self, durations, elapsed):
+        predictor = DurationPredictor()
+        predictor.observe_all(durations)
+        assert predictor.expected_remaining(elapsed) > 0
+
+    @given(durations=st.lists(st.integers(min_value=1, max_value=50), min_size=2))
+    def test_survival_monotone_in_additional(self, durations):
+        predictor = DurationPredictor()
+        predictor.observe_all(durations)
+        probabilities = [predictor.survival_probability(0, t) for t in range(0, 60, 5)]
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+
+class TestClientCountPredictor:
+    def test_same_window_previous_days(self):
+        predictor = ClientCountPredictor(history_days=3)
+        time = 5 * 288 + 100
+        predictor.observe("path", time - 288, 90)
+        predictor.observe("path", time - 2 * 288, 110)
+        predictor.observe("path", time - 3 * 288, 100)
+        assert predictor.predict("path", time) == pytest.approx(100.0)
+
+    def test_window_specificity(self):
+        """Counts from other windows of the day are ignored."""
+        predictor = ClientCountPredictor()
+        time = 5 * 288 + 100
+        predictor.observe("path", time - 288 + 7, 1_000_000)
+        predictor.observe("path", time - 288, 50)
+        assert predictor.predict("path", time) == pytest.approx(50.0)
+
+    def test_falls_back_to_recent(self):
+        predictor = ClientCountPredictor()
+        predictor.observe("path", 10, 42)
+        assert predictor.predict("path", 500) == pytest.approx(42.0)
+
+    def test_unseen_key_zero(self):
+        assert ClientCountPredictor().predict("nope", 100) == 0.0
+
+    def test_history_days_limit(self):
+        predictor = ClientCountPredictor(history_days=1)
+        time = 5 * 288
+        predictor.observe("path", time - 288, 10)
+        predictor.observe("path", time - 2 * 288, 1000)  # beyond window
+        assert predictor.predict("path", time) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientCountPredictor(history_days=0)
+        with pytest.raises(ValueError):
+            ClientCountPredictor().observe("k", 0, -1)

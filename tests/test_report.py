@@ -1,0 +1,56 @@
+"""Tests for repro.analysis.report: table and CDF rendering."""
+
+import pytest
+
+from repro.analysis.report import render_cdf, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert "1.500" in lines[3]
+        assert "22" in lines[4]
+
+    def test_bool_rendering(self):
+        text = render_table(["x"], [[True], [False]])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        text = render_table(["a"], [["v"]])
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestRenderCDF:
+    def test_auto_grid(self):
+        text = render_cdf("durations", [1.0, 2.0, 3.0, 10.0], points=5)
+        assert "CDF: durations (n=4)" in text
+        assert "1.000" in text  # final F(x)
+
+    def test_explicit_grid(self):
+        text = render_cdf("x", [1.0, 2.0], grid=[1.0, 2.0])
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_constant_sample(self):
+        text = render_cdf("flat", [5.0, 5.0, 5.0])
+        assert "5.00" in text
+
+
+class TestRenderSeries:
+    def test_labels(self):
+        text = render_series("s", [(1, 2)], x_label="hour", y_label="bad%")
+        assert "hour" in text
+        assert "bad%" in text
+        assert text.splitlines()[0] == "s"

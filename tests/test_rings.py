@@ -1,0 +1,85 @@
+"""Tests for anycast rings (§2.1 footnote 2)."""
+
+import pytest
+
+from repro.net.geo import Region, metro_distance_km
+from repro.sim.scenario import ScenarioParams, _ring_members, _ring_shares, build_world
+
+
+@pytest.fixture(scope="module")
+def ringed_world():
+    params = ScenarioParams(
+        seed=42,
+        regions=(Region.USA, Region.EUROPE),
+        locations_per_region=2,
+        duration_days=1,
+        rings=2,
+    )
+    return build_world(params)
+
+
+class TestRingHelpers:
+    def test_single_ring_identity(self, ringed_world):
+        members = _ring_members(ringed_world.locations, 1)
+        assert members == [ringed_world.locations]
+        assert _ring_shares(1, 0.3) == [1.0]
+
+    def test_sparser_rings(self, ringed_world):
+        members = _ring_members(ringed_world.locations, 3)
+        assert len(members[1]) <= len(members[0])
+        assert len(members[2]) <= len(members[1])
+        for ring in members[1:]:
+            assert set(ring) <= set(members[0])
+
+    def test_shares_sum_to_one(self):
+        for rings in (1, 2, 4):
+            assert sum(_ring_shares(rings, 0.3)) == pytest.approx(1.0)
+
+
+class TestRingedWorld:
+    def test_slot_shares_still_sum_to_one(self, ringed_world):
+        shares: dict[int, float] = {}
+        for slot in ringed_world.slots:
+            shares[slot.client.prefix24] = (
+                shares.get(slot.client.prefix24, 0.0) + slot.share
+            )
+        for total in shares.values():
+            assert total == pytest.approx(1.0)
+
+    def test_more_slots_than_single_ring(self):
+        base = ScenarioParams(
+            seed=42, regions=(Region.USA, Region.EUROPE),
+            locations_per_region=2, duration_days=1,
+        )
+        ringed = ScenarioParams(
+            seed=42, regions=(Region.USA, Region.EUROPE),
+            locations_per_region=2, duration_days=1, rings=2,
+        )
+        assert len(build_world(ringed).slots) > len(build_world(base).slots)
+
+    def test_sparse_ring_serves_farther(self, ringed_world):
+        """Some sparse-ring slots are served from a farther location than
+        the client's overall nearest — the ring restriction at work."""
+        farther = 0
+        for slot in ringed_world.slots:
+            nearest = min(
+                metro_distance_km(loc.metro, slot.client.metro)
+                for loc in ringed_world.locations
+            )
+            actual = metro_distance_km(slot.location.metro, slot.client.metro)
+            if actual > nearest + 1.0:
+                farther += 1
+        assert farther > 0
+
+    def test_assignments_are_consumer_ring(self, ringed_world):
+        """The recorded assignment (used by incident tooling) is ring 0's."""
+        for prefix, assignment in list(ringed_world.assignments.items())[:20]:
+            client = ringed_world.population.get(prefix)
+            nearest = min(
+                ringed_world.locations,
+                key=lambda loc: (
+                    metro_distance_km(loc.metro, client.metro),
+                    loc.location_id,
+                ),
+            )
+            assert assignment.primary is nearest

@@ -1,0 +1,90 @@
+"""Tests for repro.cloud.telemetry: collector, stream join, bucket store."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.telemetry import (
+    BUCKETS_PER_HOUR,
+    HourlyBucketStore,
+    RTTCollector,
+    RTTSample,
+    join_request_streams,
+)
+
+
+def _sample(time=0, prefix=1, loc="edge-X", mobile=False, rtt=42.0) -> RTTSample:
+    return RTTSample(time, prefix, loc, mobile, rtt)
+
+
+class TestRTTCollector:
+    def test_add_and_slice(self):
+        collector = RTTCollector()
+        collector.add_all([_sample(time=0), _sample(time=0), _sample(time=3)])
+        assert collector.total_samples == 3
+        assert len(collector.samples_at(0)) == 2
+        assert len(collector.samples_at(3)) == 1
+        assert collector.samples_at(7) == ()
+        assert collector.buckets() == (0, 3)
+
+
+class TestStreamJoin:
+    def test_join_matches_request_ids(self):
+        ip_stream = [(1, 100), (2, 200), (3, 300)]
+        rtt_stream = [
+            (2, 0, "edge-X", False, 30.0),
+            (1, 0, "edge-Y", True, 80.0),
+        ]
+        joined = list(join_request_streams(ip_stream, rtt_stream))
+        assert joined == [
+            RTTSample(0, 200, "edge-X", False, 30.0),
+            RTTSample(0, 100, "edge-Y", True, 80.0),
+        ]
+
+    def test_unmatched_rtt_records_dropped(self):
+        joined = list(
+            join_request_streams([(1, 100)], [(9, 0, "edge-X", False, 1.0)])
+        )
+        assert joined == []
+
+    def test_unmatched_ip_records_ignored(self):
+        joined = list(
+            join_request_streams(
+                [(1, 100), (2, 200)], [(1, 0, "edge-X", False, 1.0)]
+            )
+        )
+        assert len(joined) == 1
+
+
+class TestHourlyBucketStore:
+    def test_read_window_returns_exact_samples(self):
+        store = HourlyBucketStore(buckets_per_hour=16, rng=np.random.default_rng(0))
+        for time in range(0, 24):
+            store.write(_sample(time=time, prefix=time))
+        window = store.read_window(3, 9)
+        assert [s.time for s in window] == list(range(3, 9))
+
+    def test_read_amplification_counted(self):
+        """Reading 15 minutes must scan the whole hour (§6.1 quirk)."""
+        store = HourlyBucketStore(buckets_per_hour=8, rng=np.random.default_rng(0))
+        for time in range(0, BUCKETS_PER_HOUR):  # one hour of data
+            for _ in range(10):
+                store.write(_sample(time=time))
+        store.read_window(9, 12)  # last 15 minutes of the hour
+        # All 120 tuples of the hour were scanned for a 30-tuple answer.
+        assert store.tuples_scanned == 10 * BUCKETS_PER_HOUR
+
+    def test_read_spanning_hours(self):
+        store = HourlyBucketStore(buckets_per_hour=4, rng=np.random.default_rng(0))
+        store.write(_sample(time=11))
+        store.write(_sample(time=12))  # next hour
+        window = store.read_window(11, 13)
+        assert [s.time for s in window] == [11, 12]
+
+    def test_invalid_window(self):
+        store = HourlyBucketStore()
+        with pytest.raises(ValueError):
+            store.read_window(5, 5)
+
+    def test_empty_hours_ok(self):
+        store = HourlyBucketStore()
+        assert store.read_window(1000, 1010) == []

@@ -1,0 +1,143 @@
+"""Tests for repro.core.thresholds: expected-RTT learning."""
+
+import pytest
+
+from repro.core.quartet import Quartet
+from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
+from repro.net.geo import Region
+
+
+def _quartet(time=0, rtt=40.0, loc="edge-X", mobile=False, middle=(10,)) -> Quartet:
+    return Quartet(
+        time=time,
+        prefix24=1,
+        location_id=loc,
+        mobile=mobile,
+        mean_rtt_ms=rtt,
+        n_samples=20,
+        users=10,
+        client_asn=65000,
+        middle=middle,
+        region=Region.USA,
+    )
+
+
+class TestLearner:
+    def test_median_learned(self):
+        learner = ExpectedRTTLearner()
+        for rtt in (10.0, 20.0, 30.0, 40.0, 50.0):
+            learner.observe(_quartet(rtt=rtt))
+        table = learner.table()
+        assert table.expected_cloud("edge-X", False) == pytest.approx(30.0)
+        assert table.expected_middle((10,), False) == pytest.approx(30.0)
+
+    def test_mobile_separated(self):
+        learner = ExpectedRTTLearner()
+        learner.observe(_quartet(rtt=30.0, mobile=False))
+        learner.observe(_quartet(rtt=90.0, mobile=True))
+        table = learner.table()
+        assert table.expected_cloud("edge-X", False) == pytest.approx(30.0)
+        assert table.expected_cloud("edge-X", True) == pytest.approx(90.0)
+
+    def test_unknown_key_is_none(self):
+        table = ExpectedRTTLearner().table()
+        assert table.expected_cloud("edge-X", False) is None
+        assert table.expected_middle((99,), False) is None
+
+    def test_rolling_window_excludes_old_days(self):
+        learner = ExpectedRTTLearner(history_days=2)
+        learner.observe(_quartet(time=0, rtt=10.0))  # day 0
+        learner.observe(_quartet(time=3 * 288, rtt=100.0))  # day 3
+        learner.observe(_quartet(time=4 * 288, rtt=110.0))  # day 4
+        table = learner.table(as_of_day=4)
+        # Days 3 and 4 only: median of (100, 110).
+        assert table.expected_cloud("edge-X", False) == pytest.approx(105.0)
+
+    def test_unwindowed_table_uses_everything(self):
+        learner = ExpectedRTTLearner(history_days=2)
+        learner.observe(_quartet(time=0, rtt=10.0))
+        learner.observe(_quartet(time=5 * 288, rtt=100.0))
+        table = learner.table()
+        assert table.expected_cloud("edge-X", False) == pytest.approx(55.0)
+
+    def test_prune(self):
+        learner = ExpectedRTTLearner()
+        learner.observe(_quartet(time=0, rtt=10.0))
+        learner.observe(_quartet(time=10 * 288, rtt=50.0))
+        learner.prune_before(day=5)
+        table = learner.table()
+        assert table.expected_cloud("edge-X", False) == pytest.approx(50.0)
+
+    def test_section_43_worked_example(self):
+        """§4.3: history uniform in [35, 45] learns ~40ms; a fault moving
+        RTTs to [40, 70] leaves nearly all above the learned value but
+        only a third above the 50ms badness target."""
+        learner = ExpectedRTTLearner()
+        for index, rtt in enumerate(range(35, 46)):
+            learner.observe(_quartet(time=index, rtt=float(rtt)))
+        expected = learner.table().expected_cloud("edge-X", False)
+        assert expected == pytest.approx(40.0)
+        faulty = [40 + 30 * i / 10 for i in range(11)]  # uniform [40, 70]
+        above_learned = sum(1 for r in faulty if r > expected) / len(faulty)
+        above_target = sum(1 for r in faulty if r > 50.0) / len(faulty)
+        assert above_learned >= 0.8  # τ fires with the learned median
+        assert above_target < 0.8  # τ never fires with the raw target
+
+    def test_reservoir_bounded_memory(self):
+        learner = ExpectedRTTLearner()
+        for index in range(5000):
+            learner.observe(_quartet(time=index % 288, rtt=float(index % 100)))
+        reservoirs = list(learner._cloud.values())
+        assert all(len(r.values) <= 256 for r in reservoirs)
+        # Median of 0..99 stream should still be close to 50.
+        table = learner.table()
+        assert table.expected_cloud("edge-X", False) == pytest.approx(50.0, abs=10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExpectedRTTLearner(history_days=0)
+
+
+class TestDistributionShiftDetector:
+    def _trained(self, rng_seed=0):
+        from repro.core.thresholds import DistributionShiftDetector
+        import numpy as np
+
+        detector = DistributionShiftDetector(ks_threshold=0.3)
+        rng = np.random.default_rng(rng_seed)
+        for _ in range(400):
+            detector.observe_reference(("loc",), float(rng.normal(40.0, 4.0)))
+        return detector, rng
+
+    def test_detects_upward_shift(self):
+        detector, rng = self._trained()
+        shifted = [float(rng.normal(60.0, 4.0)) for _ in range(30)]
+        assert detector.shifted(("loc",), shifted) is True
+
+    def test_quiet_on_same_distribution(self):
+        detector, rng = self._trained()
+        same = [float(rng.normal(40.0, 4.0)) for _ in range(30)]
+        assert detector.shifted(("loc",), same) is False
+
+    def test_one_sided_ignores_improvement(self):
+        """RTTs getting *better* must not raise a badness flag."""
+        detector, rng = self._trained()
+        improved = [float(rng.normal(20.0, 4.0)) for _ in range(30)]
+        assert detector.shifted(("loc",), improved) is False
+
+    def test_no_reference_no_decision(self):
+        detector, _ = self._trained()
+        assert detector.shifted(("unknown",), [50.0, 60.0]) is None
+        assert detector.shifted(("loc",), []) is None
+
+    def test_reference_bounded(self):
+        detector, rng = self._trained()
+        for _ in range(5000):
+            detector.observe_reference(("loc",), 40.0)
+        assert detector.reference_size(("loc",)) <= 4 * 256
+
+    def test_threshold_validation(self):
+        from repro.core.thresholds import DistributionShiftDetector
+
+        with pytest.raises(ValueError):
+            DistributionShiftDetector(ks_threshold=0.0)

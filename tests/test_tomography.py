@@ -1,0 +1,114 @@
+"""Tests for repro.baselines.tomography, incl. the §4.1 infeasibility."""
+
+import pytest
+
+from repro.baselines.tomography import (
+    BooleanTomography,
+    LinearTomography,
+    PathObservation,
+)
+
+
+def _two_cloud_k_client_observations(k: int = 4):
+    """The exact §4.1 setting: clouds c1, c2; middles m1, m2; clients
+    p1..pk; observations d_ij = l_ci + l_mi + l_pj."""
+    cloud_latency = {"c1": 3.0, "c2": 5.0}
+    middle_latency = {"m1": 10.0, "m2": 7.0}
+    client_latency = {f"p{j}": 2.0 + j for j in range(1, k + 1)}
+    observations = []
+    for ci, mi in (("c1", "m1"), ("c2", "m2")):
+        for pj in client_latency:
+            rtt = cloud_latency[ci] + middle_latency[mi] + client_latency[pj]
+            observations.append(PathObservation(segments=(ci, mi, pj), rtt_ms=rtt))
+    return observations
+
+
+class TestLinearTomography:
+    def test_rank_deficiency_positive(self):
+        """§4.1: 2k equations, k+4 unknowns, yet unsolvable — the design
+        matrix is rank deficient."""
+        tomography = LinearTomography(_two_cloud_k_client_observations())
+        assert tomography.rank_deficiency() >= 2
+
+    def test_individual_segments_not_identifiable(self):
+        tomography = LinearTomography(_two_cloud_k_client_observations())
+        assert not tomography.identifiable({"c1": 1.0})
+        assert not tomography.identifiable({"m1": 1.0})
+        assert not tomography.identifiable({"p1": 1.0})
+
+    def test_footnote4_composites_identifiable(self):
+        """Footnote 4: lc1+lm1-lc2-lm2 and lps-lpt are solvable."""
+        tomography = LinearTomography(_two_cloud_k_client_observations())
+        assert tomography.identifiable({"c1": 1.0, "m1": 1.0, "c2": -1.0, "m2": -1.0})
+        assert tomography.identifiable({"p1": 1.0, "p2": -1.0})
+
+    def test_lstsq_fits_observations_but_not_truth(self):
+        """A least-squares solution reproduces the RTTs while getting the
+        per-segment values wrong — the danger of ignoring rank."""
+        observations = _two_cloud_k_client_observations()
+        tomography = LinearTomography(observations)
+        solution = tomography.solve()
+        for obs in observations:
+            fitted = sum(solution[s] for s in obs.segments)
+            assert fitted == pytest.approx(obs.rtt_ms, abs=1e-6)
+        # But the individual cloud latency need not equal the true 3.0.
+        # (Minimum-norm picks one member of the solution family.)
+        assert set(solution) == set(tomography.columns)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTomography([])
+
+
+class TestBooleanTomography:
+    def test_single_bad_segment_inferred(self):
+        observations = [
+            PathObservation(("c1", "m1", "p1"), 100.0, bad=True),
+            PathObservation(("c1", "m1", "p2"), 100.0, bad=True),
+            PathObservation(("c1", "m2", "p3"), 10.0, bad=False),
+        ]
+        blamed = BooleanTomography(observations).infer_bad_segments()
+        assert blamed == {"m1"}  # c1 and p* are exonerated or larger
+
+    def test_good_paths_exonerate(self):
+        """Segments seen on good paths are removed from candidacy."""
+        observations = [
+            PathObservation(("c1", "m1", "p1"), 100.0, bad=True),
+            PathObservation(("c1", "m2", "p2"), 10.0, bad=False),  # clears c1
+            PathObservation(("c2", "m1", "p3"), 10.0, bad=False),  # clears m1
+        ]
+        blamed = BooleanTomography(observations).infer_bad_segments()
+        assert blamed == {"p1"}  # the only candidate left
+
+    def test_all_good(self):
+        observations = [PathObservation(("c1", "m1", "p1"), 10.0, bad=False)]
+        assert BooleanTomography(observations).infer_bad_segments() == frozenset()
+
+    def test_smallest_set_preferred(self):
+        """Insight-2 formalized: one shared segment beats many clients."""
+        observations = [
+            PathObservation(("c1", "m1", f"p{j}"), 100.0, bad=True) for j in range(5)
+        ]
+        blamed = BooleanTomography(observations).infer_bad_segments()
+        assert len(blamed) == 1
+        assert blamed <= {"c1", "m1"}
+
+    def test_inconsistent_raises(self):
+        observations = [
+            PathObservation(("c1", "m1", "p1"), 100.0, bad=True),
+            PathObservation(("c1",), 10.0, bad=False),
+            PathObservation(("m1",), 10.0, bad=False),
+            PathObservation(("p1",), 10.0, bad=False),
+        ]
+        with pytest.raises(ValueError):
+            BooleanTomography(observations).infer_bad_segments()
+
+    def test_greedy_large_universe(self):
+        observations = [
+            PathObservation((f"c{i}", f"m{i}", f"p{i}"), 100.0, bad=True)
+            for i in range(30)
+        ]
+        blamed = BooleanTomography(observations, max_exact=4).infer_bad_segments()
+        # Each bad path needs at least one blamed segment.
+        for obs in observations:
+            assert set(obs.segments) & blamed

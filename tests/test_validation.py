@@ -1,0 +1,109 @@
+"""Tests for repro.analysis.validation: incident and corroboration harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    build_warmup_state,
+    corroboration_ratios,
+    validate_incident,
+)
+from repro.baselines.asmetro import as_metro_quartets
+from repro.core.pipeline import BlameItPipeline
+from repro.sim.faults import Fault, FaultTarget, SegmentKind
+from repro.sim.incidents import generate_incidents
+from repro.sim.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def warmup(small_world):
+    return build_warmup_state(small_world, days=1, stride=3)
+
+
+class TestWarmupState:
+    def test_table_populated(self, warmup):
+        assert warmup.table.cloud
+        assert warmup.table.middle
+
+    def test_targets_unique(self, warmup):
+        keys = [(loc, middle) for loc, middle, _ in warmup.targets]
+        assert len(keys) == len(set(keys))
+
+    def test_apply_preloads_pipeline(self, small_world, warmup):
+        scenario = Scenario(small_world, (), ())
+        pipeline = BlameItPipeline(scenario, fixed_table=warmup.table)
+        warmup.apply(pipeline)
+        assert pipeline.background.target_count == len(warmup.targets)
+        some_key = warmup.client_observations[0][0]
+        time = warmup.client_observations[0][1]
+        assert pipeline.client_predictor.predict(some_key, time + 288) > 0
+
+    def test_rekey_changes_middle_keys(self, small_world):
+        state = build_warmup_state(
+            small_world, days=1, stride=24, rekey=as_metro_quartets
+        )
+        for (middle, _mobile) in state.table.middle:
+            assert len(middle) == 2  # synthetic (asn, metro-id) keys
+
+
+class TestValidateIncident:
+    def test_batch_matches(self, small_world, warmup):
+        specs = generate_incidents(small_world, 10, np.random.default_rng(2))
+        outcomes = [validate_incident(small_world, spec, warmup) for spec in specs]
+        matched = sum(1 for o in outcomes if o.matched)
+        assert matched == 10
+
+    def test_outcome_fields(self, small_world, warmup):
+        spec = generate_incidents(small_world, 1, np.random.default_rng(4))[0]
+        outcome = validate_incident(small_world, spec, warmup)
+        assert outcome.spec is spec
+        assert outcome.report.total_quartets > 0
+        assert outcome.matched == (
+            outcome.segment_matched and outcome.culprit_matched
+        )
+
+
+class TestCorroboration:
+    @pytest.fixture(scope="class")
+    def faulty_scenario(self, small_world):
+        pool = small_world.middle_asn_pool()
+        faults = (
+            Fault(
+                fault_id=0,
+                target=FaultTarget(kind=SegmentKind.MIDDLE, asn=pool[0]),
+                start=150,
+                duration=24,
+                added_ms=90.0,
+            ),
+            Fault(
+                fault_id=1,
+                target=FaultTarget(
+                    kind=SegmentKind.CLIENT, asn=small_world.population.asns[0]
+                ),
+                start=150,
+                duration=24,
+                added_ms=90.0,
+            ),
+        )
+        return Scenario(small_world, faults, ())
+
+    def test_ratios_bounded(self, faulty_scenario, warmup):
+        ratios = corroboration_ratios(faulty_scenario, 150, 168, warmup.table)
+        assert ratios
+        assert all(0.0 <= r <= 1.0 for r in ratios.values())
+
+    def test_bgp_path_beats_as_metro(self, small_world, faulty_scenario, warmup):
+        """Figure 11's ordering: BGP-path grouping corroborates at least
+        as well as ⟨AS, Metro⟩ on average."""
+        path_ratios = corroboration_ratios(faulty_scenario, 150, 168, warmup.table)
+        metro_state = build_warmup_state(
+            small_world, days=1, stride=3, rekey=as_metro_quartets
+        )
+        metro_ratios = corroboration_ratios(
+            faulty_scenario, 150, 168, metro_state.table, use_as_metro=True
+        )
+        assert path_ratios
+        assert metro_ratios
+        path_mean = np.mean(list(path_ratios.values()))
+        metro_mean = np.mean(list(metro_ratios.values()))
+        assert path_mean >= metro_mean - 0.05
