@@ -10,7 +10,6 @@ on a single learned median.
 
 from __future__ import annotations
 
-import numpy as np
 from _util import emit
 
 from repro.analysis.report import render_table

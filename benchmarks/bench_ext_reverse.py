@@ -17,9 +17,8 @@ from repro.analysis.report import render_table
 from repro.core.config import BlameItConfig
 from repro.core.pipeline import BlameItPipeline
 from repro.net.asn import middle_asns
-from repro.net.geo import Region
 from repro.sim.faults import Direction, Fault, FaultTarget, SegmentKind
-from repro.sim.scenario import Scenario, ScenarioParams, build_world
+from repro.sim.scenario import Scenario
 
 RUN = (144, 2 * 288)
 

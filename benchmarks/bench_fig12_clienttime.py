@@ -9,7 +9,6 @@ BlameIt's *predicted* priority ordering tracks the oracle closely.
 
 from __future__ import annotations
 
-import numpy as np
 from _util import emit
 
 from repro.analysis.report import render_series

@@ -14,7 +14,6 @@ from _util import emit
 from repro.analysis.characterize import bad_fraction_by_hour
 from repro.analysis.report import render_series
 from repro.net.geo import Region
-from repro.sim.workload import local_hour
 
 #: Seven simulated days (starting day 1; the week includes a weekend).
 WEEK = range(288, 8 * 288)

@@ -1,0 +1,134 @@
+"""Scale benchmark — vectorized + sharded pipeline vs the scalar path.
+
+Runs one simulated month through both drivers over the same world:
+
+* scalar: `BlameItPipeline` with per-bucket RNG (the sequential
+  dict-and-loop reference), and
+* fast: `ShardedPipeline` (columnar generation + vectorized passive
+  phase per shard, single-process active phase).
+
+Reports throughput in quartets/sec and the speedup, asserts the two
+paths produce byte-identical blame counts, and appends a JSON record to
+``BENCH_scale.json`` at the repo root so the trend is tracked across
+commits.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pathlib
+import time
+
+from _util import emit
+
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.core.thresholds import ExpectedRTTLearner
+from repro.perf.sharded import ShardedPipeline
+from repro.sim.scenario import BUCKETS_PER_DAY, Scenario, ScenarioParams, build_world
+
+RESULTS_FILE = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+
+#: One warmup day, then a 30-day measured month.
+MONTH_DAYS = 30
+START = BUCKETS_PER_DAY
+END = START + MONTH_DAYS * BUCKETS_PER_DAY
+SEED = 77
+
+MIN_SPEEDUP = 3.0
+
+
+def _month_setup():
+    params = ScenarioParams(seed=2026, duration_days=MONTH_DAYS + 1)
+    world = build_world(params)
+    scenario = Scenario.from_world(world)
+    learner = ExpectedRTTLearner()
+    warm = BlameItPipeline(scenario, learner=learner)
+    warm.warmup(0, START, stride=6)
+    return scenario, learner.table()
+
+
+def _run_scalar(scenario, table):
+    pipeline = BlameItPipeline(
+        scenario, fixed_table=table, seed=SEED, rng_per_bucket=True
+    )
+    return pipeline.run(START, END)
+
+
+def _run_fast(scenario, table):
+    pipeline = ShardedPipeline(
+        scenario,
+        config=BlameItConfig(vectorized_passive=True),
+        fixed_table=table,
+        seed=SEED,
+        n_workers=max(1, multiprocessing.cpu_count()),
+    )
+    return pipeline.run(START, END)
+
+
+def test_scale_pipeline(benchmark):
+    scenario, table = _month_setup()
+
+    t0 = time.perf_counter()
+    scalar_report = _run_scalar(scenario, table)
+    scalar_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast_report = benchmark.pedantic(
+        _run_fast, args=(scenario, table), rounds=1, iterations=1
+    )
+    fast_seconds = time.perf_counter() - t0
+
+    # Byte-identical results, not just "close": same quartet stream,
+    # same blames, same issues, same alerts.
+    assert fast_report.total_quartets == scalar_report.total_quartets
+    assert fast_report.bad_quartets == scalar_report.bad_quartets
+    assert fast_report.blame_counts == scalar_report.blame_counts
+    assert fast_report.blame_counts_by_day == scalar_report.blame_counts_by_day
+    assert [
+        (a.blame, a.location_id, a.culprit_asn, a.first_seen, a.duration)
+        for a in fast_report.alerts
+    ] == [
+        (a.blame, a.location_id, a.culprit_asn, a.first_seen, a.duration)
+        for a in scalar_report.alerts
+    ]
+
+    quartets = scalar_report.total_quartets
+    scalar_qps = quartets / scalar_seconds
+    fast_qps = quartets / fast_seconds
+    speedup = fast_qps / scalar_qps
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "world_slots": len(scenario.world.slots),
+        "buckets": END - START,
+        "quartets": quartets,
+        "workers": max(1, multiprocessing.cpu_count()),
+        "scalar_seconds": round(scalar_seconds, 3),
+        "fast_seconds": round(fast_seconds, 3),
+        "scalar_quartets_per_sec": round(scalar_qps),
+        "fast_quartets_per_sec": round(fast_qps),
+        "speedup": round(speedup, 2),
+        "identical_blame_counts": True,
+    }
+    history = []
+    if RESULTS_FILE.exists():
+        history = json.loads(RESULTS_FILE.read_text(encoding="utf-8"))
+    history.append(record)
+    RESULTS_FILE.write_text(
+        json.dumps(history, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"month-scale run: {MONTH_DAYS} days, {END - START} buckets, "
+        f"{len(scenario.world.slots)} slots, {quartets:,} quartets",
+        f"scalar   : {scalar_seconds:7.2f}s  {scalar_qps:12,.0f} quartets/sec",
+        f"fast     : {fast_seconds:7.2f}s  {fast_qps:12,.0f} quartets/sec "
+        f"({record['workers']} worker(s))",
+        f"speedup  : {speedup:.2f}x  (floor {MIN_SPEEDUP}x)",
+        "blame counts byte-identical: True",
+    ]
+    emit("scale_pipeline", "\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP

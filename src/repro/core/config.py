@@ -40,6 +40,11 @@ class BlameItConfig:
             extension: rich clients measure the client-to-cloud path and
             localization compares both directions (off in the paper's
             deployed system; proposed as future work).
+        vectorized_passive: Route :meth:`PassiveLocalizer.assign` through
+            the NumPy fast path (columnar :class:`QuartetBatch` array
+            ops). Produces results identical to the scalar reference;
+            off by default so the scalar code stays the executable
+            specification.
     """
 
     tau: float = 0.8
@@ -53,6 +58,7 @@ class BlameItConfig:
     churn_triggered_probes: bool = True
     good_rtt_slack_ms: float = 0.0
     use_reverse_traceroutes: bool = False
+    vectorized_passive: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.tau <= 1.0:

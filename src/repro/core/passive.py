@@ -12,21 +12,36 @@ Hierarchical elimination over the three-way path segmentation:
    evidence contradictory ("ambiguous").
 
 At each aggregate step, fewer than ``min_aggregate_quartets`` quartets
-yields "insufficient". Bad-fractions are deliberately *unweighted* by
-sample counts so a few high-volume healthy /24s cannot mask widespread
-badness (§4.2).
+yields "insufficient" (exactly the minimum is enough — the comparison is
+strictly *fewer than*, per §4.2). Bad-fractions are deliberately
+*unweighted* by sample counts so a few high-volume healthy /24s cannot
+mask widespread badness (§4.2).
+
+Comparison convention: a measurement is **bad when it is at or above its
+reference** (``>=``) — both for the region badness target (``is_bad``)
+and for the learned expected RTTs the aggregate bad-fractions are
+computed against. A quartet sitting exactly on the threshold counts as
+bad; "good elsewhere" requires being strictly *below* the target (minus
+the configured slack).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cloud.locations import RTTTargets
 from repro.core.blame import Blame, BlameResult
 from repro.core.config import BlameItConfig
-from repro.core.quartet import Quartet
+from repro.core.quartet import Quartet, QuartetBatch
 from repro.core.thresholds import ExpectedRTTTable
 from repro.net.asn import ASPath
+
+
+def _nan_if_none(value: float | None) -> float:
+    """Encode an unknown expected RTT as NaN for the vectorized path."""
+    return float("nan") if value is None else value
 
 
 @dataclass
@@ -68,6 +83,8 @@ class PassiveLocalizer:
             One :class:`BlameResult` per bad quartet (quartets passing the
             sample gate whose RTT breaches the region target).
         """
+        if self.config.vectorized_passive:
+            return self.assign_batch(QuartetBatch.from_quartets(quartets), table)
         gated = [
             q for q in quartets if q.n_samples >= self.config.min_quartet_samples
         ]
@@ -100,8 +117,159 @@ class PassiveLocalizer:
             results.extend(self.assign(by_bucket[time], table))
         return results
 
+    def assign_batch(
+        self, batch: QuartetBatch, table: ExpectedRTTTable
+    ) -> list[BlameResult]:
+        """Vectorized Algorithm 1 over a columnar batch of one bucket.
+
+        Array-ops equivalent of :meth:`assign`: the sample gate, the
+        cloud/middle bad-fraction aggregates, the good-elsewhere index,
+        and the decision chain are all computed with NumPy over the
+        batch's columns. Returns results identical (same order, same
+        blames, same fractions) to the scalar reference on the same
+        quartets — asserted by the property tests.
+        """
+        config = self.config
+        gate = np.nonzero(batch.n_samples >= config.min_quartet_samples)[0]
+        if len(gate) == 0:
+            return []
+        rtt = batch.mean_rtt_ms[gate]
+        mobile = batch.mobile[gate]
+        loc_idx = batch.location_index[gate]
+        mid_idx = batch.middle_index[gate]
+        region_idx = batch.region_index[gate]
+        prefix24 = batch.prefix24[gate]
+
+        # Region badness targets, per quartet.
+        target_fixed = np.array(
+            [self.targets.target_ms(r, False) for r in batch.regions]
+        )
+        target_mobile = np.array(
+            [self.targets.target_ms(r, True) for r in batch.regions]
+        )
+        target = np.where(mobile, target_mobile[region_idx], target_fixed[region_idx])
+        bad = rtt >= target
+
+        n_loc = len(batch.locations)
+        n_mid = len(batch.middles)
+
+        def expected_for(vocab, lookup):
+            fixed = np.array(
+                [_nan_if_none(lookup(key, False)) for key in vocab]
+            )
+            cellular = np.array(
+                [_nan_if_none(lookup(key, True)) for key in vocab]
+            )
+            return fixed, cellular
+
+        ec_fixed, ec_mobile = expected_for(batch.locations, table.expected_cloud)
+        em_fixed, em_mobile = expected_for(batch.middles, table.expected_middle)
+        cloud_expected = np.where(mobile, ec_mobile[loc_idx], ec_fixed[loc_idx])
+        middle_expected = np.where(mobile, em_mobile[mid_idx], em_fixed[mid_idx])
+        cloud_known = ~np.isnan(cloud_expected)
+        middle_known = ~np.isnan(middle_expected)
+
+        # Aggregate totals / judged / bad counts (unweighted, §4.2).
+        cloud_total = np.bincount(loc_idx, minlength=n_loc)
+        cloud_judged = np.bincount(loc_idx[cloud_known], minlength=n_loc)
+        cloud_bad = np.bincount(
+            loc_idx[cloud_known & (rtt >= cloud_expected)], minlength=n_loc
+        )
+        middle_total = np.bincount(mid_idx, minlength=n_mid)
+        middle_judged = np.bincount(mid_idx[middle_known], minlength=n_mid)
+        middle_bad = np.bincount(
+            mid_idx[middle_known & (rtt >= middle_expected)], minlength=n_mid
+        )
+
+        # Good-elsewhere index: distinct locations with good RTT per
+        # (prefix24, mobile); the ambiguity check asks whether a bad
+        # quartet's pair saw good RTT at any *other* location.
+        good = rtt < target - config.good_rtt_slack_ms
+        pair_key = prefix24 * 2 + mobile  # /24 keys fit well under 2**62
+        good_pairs = np.unique(pair_key[good] * n_loc + loc_idx[good])
+        unique_good_pairs, good_loc_counts = np.unique(
+            good_pairs // n_loc, return_counts=True
+        )
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            cloud_frac_all = np.where(
+                cloud_judged > 0, cloud_bad / np.maximum(cloud_judged, 1), np.nan
+            )
+            middle_frac_all = np.where(
+                middle_judged > 0, middle_bad / np.maximum(middle_judged, 1), np.nan
+            )
+
+        # The decision chain, computed for every gated row at once.
+        min_agg = config.min_aggregate_quartets
+        cloud_frac = cloud_frac_all[loc_idx]
+        middle_frac = middle_frac_all[mid_idx]
+        insuff_cloud = (cloud_total[loc_idx] < min_agg) | np.isnan(cloud_frac)
+        is_cloud = ~insuff_cloud & (cloud_frac >= config.tau)
+        after_cloud = ~insuff_cloud & ~is_cloud
+        insuff_middle = after_cloud & (
+            (middle_total[mid_idx] < min_agg) | np.isnan(middle_frac)
+        )
+        is_middle = after_cloud & ~insuff_middle & (middle_frac >= config.tau)
+        rest = after_cloud & ~insuff_middle & ~is_middle
+
+        self_key = pair_key * n_loc + loc_idx
+        pos = np.searchsorted(good_pairs, self_key)
+        in_bounds = pos < len(good_pairs)
+        self_good = np.zeros(len(self_key), dtype=bool)
+        if len(good_pairs):
+            self_good[in_bounds] = (
+                good_pairs[pos[in_bounds]] == self_key[in_bounds]
+            )
+        pair_pos = np.searchsorted(unique_good_pairs, pair_key)
+        pair_in = pair_pos < len(unique_good_pairs)
+        n_good = np.zeros(len(pair_key), dtype=np.int64)
+        if len(unique_good_pairs):
+            hit = pair_in.copy()
+            hit[pair_in] = (
+                unique_good_pairs[pair_pos[pair_in]] == pair_key[pair_in]
+            )
+            n_good[hit] = good_loc_counts[pair_pos[hit]]
+        elsewhere = (n_good - self_good.astype(np.int64)) > 0
+        is_ambiguous = rest & elsewhere
+
+        # Blame codes: 0/2 insufficient, 1 cloud, 3 middle, 4 ambiguous,
+        # 5 client. Codes 0 and 1 stop before the middle step, so their
+        # results carry no middle fraction (matching the scalar chain).
+        code = np.select(
+            [insuff_cloud, is_cloud, insuff_middle, is_middle, is_ambiguous],
+            [0, 1, 2, 3, 4],
+            default=5,
+        )
+        _BLAMES = (
+            Blame.INSUFFICIENT, Blame.CLOUD, Blame.INSUFFICIENT,
+            Blame.MIDDLE, Blame.AMBIGUOUS, Blame.CLIENT,
+        )
+        cloud_none = np.isnan(cloud_frac)
+        middle_none = np.isnan(middle_frac)
+        results: list[BlameResult] = []
+        for row in np.nonzero(bad)[0].tolist():
+            c = int(code[row])
+            cloud_fraction = None if cloud_none[row] else float(cloud_frac[row])
+            if c <= 1:
+                middle_fraction = None
+            else:
+                middle_fraction = (
+                    None if middle_none[row] else float(middle_frac[row])
+                )
+            results.append(
+                BlameResult(
+                    batch.row(gate[row]), _BLAMES[c], cloud_fraction,
+                    middle_fraction,
+                )
+            )
+        return results
+
     def is_bad(self, quartet: Quartet) -> bool:
-        """Whether a quartet's average RTT breaches its region target."""
+        """Whether a quartet's average RTT breaches its region target.
+
+        At-or-above the target is bad (``>=``) — the same convention the
+        aggregate statistics use against learned expected RTTs.
+        """
         return quartet.mean_rtt_ms >= self.targets.target_ms(
             quartet.region, quartet.mobile
         )
@@ -119,7 +287,7 @@ class PassiveLocalizer:
             if expected is None:
                 continue
             entry.judged += 1
-            if quartet.mean_rtt_ms > expected:
+            if quartet.mean_rtt_ms >= expected:
                 entry.bad += 1
         return stats
 
@@ -134,7 +302,7 @@ class PassiveLocalizer:
             if expected is None:
                 continue
             entry.judged += 1
-            if quartet.mean_rtt_ms > expected:
+            if quartet.mean_rtt_ms >= expected:
                 entry.bad += 1
         return stats
 
@@ -164,14 +332,14 @@ class PassiveLocalizer:
         config = self.config
         cloud = cloud_stats[quartet.location_id]
         cloud_fraction = cloud.bad_fraction
-        if cloud.total <= config.min_aggregate_quartets or cloud_fraction is None:
+        if cloud.total < config.min_aggregate_quartets or cloud_fraction is None:
             return BlameResult(quartet, Blame.INSUFFICIENT, cloud_fraction, None)
         if cloud_fraction >= config.tau:
             return BlameResult(quartet, Blame.CLOUD, cloud_fraction, None)
 
         middle = middle_stats[quartet.middle]
         middle_fraction = middle.bad_fraction
-        if middle.total <= config.min_aggregate_quartets or middle_fraction is None:
+        if middle.total < config.min_aggregate_quartets or middle_fraction is None:
             return BlameResult(
                 quartet, Blame.INSUFFICIENT, cloud_fraction, middle_fraction
             )

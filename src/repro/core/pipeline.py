@@ -95,19 +95,28 @@ class _KeyedIssueTracker:
     def update(
         self, time: Timestamp, results: list[BlameResult], cloud_asn: int
     ) -> list[SegmentIssue]:
-        """Fold one bucket's results; returns issues that just closed."""
+        """Fold one bucket's results; returns issues that just closed.
+
+        A run ends once more than ``gap_buckets`` buckets pass without a
+        matching blame — the same condition whether the run is swept out
+        by the end-of-bucket pass or displaced by a fresh blame arriving
+        after the gap (update may not have run for the quiet buckets in
+        between, so the displacement check must agree with the sweep).
+        """
         votes_total: Counter = Counter()
         for result in results:
             key, _ = self._key_and_culprit(self.blame, result, cloud_asn)
             votes_total[key] += 1
+        closed_now: list[SegmentIssue] = []
         for result in results:
             if result.blame is not self.blame:
                 continue
             key, culprit = self._key_and_culprit(self.blame, result, cloud_asn)
             issue = self.open.get(key)
-            if issue is None or time - issue.last_seen > self.gap_buckets + 1:
+            if issue is None or time - issue.last_seen > self.gap_buckets:
                 if issue is not None:
                     self.closed.append(issue)
+                    closed_now.append(issue)
                 issue = SegmentIssue(
                     blame=self.blame,
                     key=key,
@@ -129,7 +138,8 @@ class _KeyedIssueTracker:
             if time - issue.last_seen > self.gap_buckets:
                 del self.open[key]
                 self.closed.append(issue)
-        return self.closed
+                closed_now.append(issue)
+        return closed_now
 
     def close_all(self) -> None:
         """Close every open run (end of a pipeline run)."""
@@ -226,6 +236,7 @@ class BlameItPipeline:
         fixed_table: "ExpectedRTTTable | None" = None,
         alert_top_k: int = 10,
         seed: int = 1234,
+        rng_per_bucket: bool = False,
     ) -> None:
         """
         Args:
@@ -239,7 +250,14 @@ class BlameItPipeline:
                 learning (lets many scenarios over one world share a
                 single training pass, e.g. the 88-incident validation).
             alert_top_k: Tickets emitted.
-            seed: Seed for probe measurement noise.
+            seed: Seed for probe measurement noise (and, with
+                ``rng_per_bucket``, for quartet generation).
+            rng_per_bucket: Draw each bucket's quartets from a generator
+                seeded by ``(seed, bucket)`` instead of the scenario's
+                shared stream. Makes bucket ``t``'s quartets independent
+                of which buckets were generated before it — the property
+                the sharded driver relies on to match this sequential
+                pipeline byte-for-byte.
         """
         self.scenario = scenario
         self.config = config or BlameItConfig()
@@ -270,7 +288,15 @@ class BlameItPipeline:
         self.cloud_tracker = _KeyedIssueTracker(Blame.CLOUD)
         self.client_tracker = _KeyedIssueTracker(Blame.CLIENT)
         self.alert_top_k = alert_top_k
+        self.seed = seed
+        self.rng_per_bucket = rng_per_bucket
         self._recorded_middle: set[int] = set()
+
+    def bucket_rng(self, time: Timestamp) -> np.random.Generator | None:
+        """The per-bucket generator, or None in shared-stream mode."""
+        if not self.rng_per_bucket:
+            return None
+        return np.random.default_rng((self.seed, time))
 
     # -- warmup ------------------------------------------------------------
 
@@ -321,7 +347,9 @@ class BlameItPipeline:
             if self.fixed_table is None and day != table_day:
                 table = self.learner.table(as_of_day=day)
                 table_day = day
-            quartets = self.scenario.generate_quartets(time)
+            quartets = self.scenario.generate_quartets(
+                time, rng=self.bucket_rng(time)
+            )
             report.total_quartets += len(quartets)
             if self.fixed_table is None:
                 self.learner.observe_all(quartets)
@@ -400,6 +428,20 @@ class BlameItPipeline:
         report: PipelineReport,
     ) -> None:
         results = self.passive.assign_window(window, table)
+        self._process_results(now, results, report)
+
+    def _process_results(
+        self,
+        now: Timestamp,
+        results: list[BlameResult],
+        report: PipelineReport,
+    ) -> None:
+        """Fold pre-computed passive results through the active phase.
+
+        Split out of :meth:`_process_window` so drivers that compute the
+        passive phase elsewhere (the sharded pipeline's workers) can
+        reuse the tracking / probing / localization flow unchanged.
+        """
         report.bad_quartets += len(results)
         day = now // BUCKETS_PER_DAY
         day_counter = report.blame_counts_by_day.setdefault(day, Counter())

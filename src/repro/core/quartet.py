@@ -12,7 +12,10 @@ client AS, the client-region, and the active-user count of the /24.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, NamedTuple
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, NamedTuple, Sequence
+
+import numpy as np
 
 from repro.cloud.telemetry import RTTSample
 from repro.net.addressing import Prefix24
@@ -123,6 +126,123 @@ def aggregate_samples(
         )
     quartets.sort(key=lambda q: (q.time, q.location_id, q.prefix24, q.mobile))
     return quartets
+
+
+@dataclass(slots=True)
+class QuartetBatch:
+    """A columnar (structure-of-arrays) batch of quartets.
+
+    The vectorized passive phase and the sharded driver operate on
+    columns instead of :class:`Quartet` objects: every per-quartet field
+    is a NumPy array, and the low-cardinality fields (cloud location,
+    middle BGP path, region) are integer codes into small vocabularies.
+    Row ``i`` of every column describes the same quartet, in the same
+    order the scalar path would see them.
+
+    Attributes:
+        time: Bucket index per quartet (int64).
+        prefix24: Client /24 keys (int64).
+        mobile: Connectivity class (bool).
+        mean_rtt_ms: Average handshake RTT (float64).
+        n_samples: RTT samples aggregated (int64).
+        users: Active client IPs in the /24 (int64).
+        client_asn: Origin AS (int64).
+        location_index: Codes into :attr:`locations` (int64).
+        locations: Location-id vocabulary.
+        middle_index: Codes into :attr:`middles` (int64).
+        middles: Middle-segment AS-path vocabulary.
+        region_index: Codes into :attr:`regions` (int64).
+        regions: Region vocabulary.
+    """
+
+    time: np.ndarray
+    prefix24: np.ndarray
+    mobile: np.ndarray
+    mean_rtt_ms: np.ndarray
+    n_samples: np.ndarray
+    users: np.ndarray
+    client_asn: np.ndarray
+    location_index: np.ndarray
+    locations: tuple[str, ...]
+    middle_index: np.ndarray
+    middles: tuple[ASPath, ...]
+    region_index: np.ndarray
+    regions: tuple[Region, ...]
+    _rows: tuple[Quartet, ...] | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.mean_rtt_ms)
+
+    @classmethod
+    def from_quartets(cls, quartets: Sequence[Quartet]) -> "QuartetBatch":
+        """Transpose a list of quartets into columns (order-preserving)."""
+        n = len(quartets)
+        time = np.empty(n, dtype=np.int64)
+        prefix24 = np.empty(n, dtype=np.int64)
+        mobile = np.empty(n, dtype=bool)
+        mean_rtt = np.empty(n, dtype=np.float64)
+        n_samples = np.empty(n, dtype=np.int64)
+        users = np.empty(n, dtype=np.int64)
+        client_asn = np.empty(n, dtype=np.int64)
+        location_index = np.empty(n, dtype=np.int64)
+        middle_index = np.empty(n, dtype=np.int64)
+        region_index = np.empty(n, dtype=np.int64)
+        loc_codes: dict[str, int] = {}
+        mid_codes: dict[ASPath, int] = {}
+        reg_codes: dict[Region, int] = {}
+        for i, q in enumerate(quartets):
+            time[i] = q.time
+            prefix24[i] = q.prefix24
+            mobile[i] = q.mobile
+            mean_rtt[i] = q.mean_rtt_ms
+            n_samples[i] = q.n_samples
+            users[i] = q.users
+            client_asn[i] = q.client_asn
+            location_index[i] = loc_codes.setdefault(q.location_id, len(loc_codes))
+            middle_index[i] = mid_codes.setdefault(q.middle, len(mid_codes))
+            region_index[i] = reg_codes.setdefault(q.region, len(reg_codes))
+        return cls(
+            time=time,
+            prefix24=prefix24,
+            mobile=mobile,
+            mean_rtt_ms=mean_rtt,
+            n_samples=n_samples,
+            users=users,
+            client_asn=client_asn,
+            location_index=location_index,
+            locations=tuple(loc_codes),
+            middle_index=middle_index,
+            middles=tuple(mid_codes),
+            region_index=region_index,
+            regions=tuple(reg_codes),
+            _rows=tuple(quartets),
+        )
+
+    def row(self, i: int) -> Quartet:
+        """The ``i``-th quartet as a :class:`Quartet` record.
+
+        Returns the original object when the batch was built with
+        :meth:`from_quartets`; otherwise materializes an equal record
+        from the columns.
+        """
+        if self._rows is not None:
+            return self._rows[i]
+        return Quartet(
+            time=int(self.time[i]),
+            prefix24=int(self.prefix24[i]),
+            location_id=self.locations[self.location_index[i]],
+            mobile=bool(self.mobile[i]),
+            mean_rtt_ms=float(self.mean_rtt_ms[i]),
+            n_samples=int(self.n_samples[i]),
+            users=int(self.users[i]),
+            client_asn=int(self.client_asn[i]),
+            middle=self.middles[self.middle_index[i]],
+            region=self.regions[self.region_index[i]],
+        )
+
+    def to_quartets(self) -> list[Quartet]:
+        """Materialize every row (mainly for tests and interop)."""
+        return [self.row(i) for i in range(len(self))]
 
 
 def split_half_means(rtts: list[float]) -> tuple[float, float]:

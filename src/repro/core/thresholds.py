@@ -15,6 +15,7 @@ per cloud location and per middle-segment BGP path.
 from __future__ import annotations
 
 import statistics
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -133,12 +134,23 @@ class DistributionShiftDetector:
         return len(self._reference.get(key, ()))
 
 
+#: Snapshots kept by the per-learner table cache.
+_TABLE_CACHE_SIZE = 16
+
+
 class ExpectedRTTLearner:
     """Rolling 14-day median learner fed by quartet observations.
 
     Usage: call :meth:`observe` for every quartet (training and live);
     call :meth:`table` to snapshot the current medians. History older
     than ``history_days`` is pruned lazily.
+
+    Snapshots are cached: :meth:`table` keys an LRU on
+    ``(as_of_day, version)`` where the version counter advances on every
+    mutation, so repeated day-keyed snapshots of unchanged history (the
+    88-incident sweep sharing one trained learner, the sharded driver's
+    shards, warmup followed by a run) reuse the computed medians instead
+    of re-deriving them.
     """
 
     def __init__(self, history_days: int = 14) -> None:
@@ -148,12 +160,17 @@ class ExpectedRTTLearner:
         self._cloud: dict[tuple[CloudKey, int], _Reservoir] = {}
         self._middle: dict[tuple[MiddleKey, int], _Reservoir] = {}
         self._seed = 0
+        self._version = 0
+        self._table_cache: OrderedDict[
+            tuple[int | None, int], ExpectedRTTTable
+        ] = OrderedDict()
 
     def observe(self, quartet: Quartet) -> None:
         """Fold one quartet's mean RTT into the history."""
         day = quartet.time // _BUCKETS_PER_DAY
         cloud_key = ((quartet.location_id, quartet.mobile), day)
         middle_key = ((quartet.middle, quartet.mobile), day)
+        self._version += 1
         self._reservoir(self._cloud, cloud_key).add(quartet.mean_rtt_ms)
         self._reservoir(self._middle, middle_key).add(quartet.mean_rtt_ms)
 
@@ -165,16 +182,30 @@ class ExpectedRTTLearner:
     def table(self, as_of_day: int | None = None) -> ExpectedRTTTable:
         """Snapshot medians over the trailing window.
 
+        Cached per ``(as_of_day, version)``: a snapshot of history that
+        has not changed since the last identical request is returned
+        without recomputing any median.
+
         Args:
             as_of_day: Window end (exclusive is ``as_of_day + 1``); when
                 None, uses all observed history.
         """
+        cache_key = (as_of_day, self._version)
+        cached = self._table_cache.get(cache_key)
+        if cached is not None:
+            self._table_cache.move_to_end(cache_key)
+            return cached
         cloud = self._medians(self._cloud, as_of_day)
         middle = self._medians(self._middle, as_of_day)
-        return ExpectedRTTTable(cloud=cloud, middle=middle)
+        snapshot = ExpectedRTTTable(cloud=cloud, middle=middle)
+        self._table_cache[cache_key] = snapshot
+        while len(self._table_cache) > _TABLE_CACHE_SIZE:
+            self._table_cache.popitem(last=False)
+        return snapshot
 
     def prune_before(self, day: int) -> None:
         """Discard per-day reservoirs older than ``day``."""
+        self._version += 1
         for store in (self._cloud, self._middle):
             stale = [key for key in store if key[1] < day]
             for key in stale:

@@ -1,0 +1,282 @@
+"""Sharded execution: buckets fan out to workers, active phase stays serial.
+
+The expensive half of a pipeline run — per-bucket quartet generation and
+the passive phase — depends only on the bucket index and the (frozen)
+expected-RTT table, so buckets partition cleanly across processes.
+:class:`ShardedPipeline` cuts the run range into contiguous shards, has
+each worker produce compact per-bucket summaries (quartet counts, blame
+results, per-path user counts, newly seen probe targets), then replays
+the summaries through a single-process fold in deterministic time order:
+issue tracking, on-demand probing (so the §5.3 per-window probe budget
+is enforced exactly once, globally), background probing, localization
+and alerting all run in the parent via the regular
+:class:`~repro.core.pipeline.BlameItPipeline` machinery.
+
+Workers draw each bucket's quartets from a ``(seed, bucket)``-seeded
+generator — the same scheme as ``BlameItPipeline(rng_per_bucket=True)``
+— and run the vectorized passive phase, so a sharded run's blame counts
+are byte-identical to the sequential scalar pipeline's.
+
+The expected-RTT table is snapshotted once at the start of the run:
+sharded runs do not learn online (pass ``fixed_table`` or a pre-warmed
+learner, as the month-scale benches do).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blame import BlameResult
+from repro.core.config import BlameItConfig
+from repro.core.passive import PassiveLocalizer
+from repro.core.pipeline import BlameItPipeline, PipelineReport
+from repro.core.prediction import DurationPredictor
+from repro.core.quartet import QuartetBatch
+from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
+from repro.net.asn import ASPath
+from repro.net.bgp import Timestamp
+from repro.perf.batch import BatchQuartetGenerator
+from repro.sim.scenario import Scenario
+
+
+@dataclass(slots=True)
+class BucketSummary:
+    """Everything the parent fold needs from one worker-processed bucket."""
+
+    time: Timestamp
+    n_quartets: int
+    results: list[BlameResult]
+    path_users: dict[tuple[str, ASPath], int]
+    new_targets: list[tuple[str, ASPath, int]] = field(default_factory=list)
+
+
+def _summarize_bucket(
+    time: Timestamp,
+    batch: QuartetBatch,
+    results: list[BlameResult],
+    seen_targets: set[int],
+) -> BucketSummary:
+    """Compress a bucket's batch into the cross-process summary."""
+    n_loc = len(batch.locations)
+    n_mid = len(batch.middles)
+    combined = batch.location_index * n_mid + batch.middle_index
+    sums = np.bincount(combined, weights=batch.users, minlength=n_loc * n_mid)
+    used = np.nonzero(sums)[0]
+    path_users = {
+        (batch.locations[key // n_mid], batch.middles[key % n_mid]): int(
+            sums[key]
+        )
+        for key in used.tolist()
+    }
+    new_targets: list[tuple[str, ASPath, int]] = []
+    # One sortable composite key per ⟨location, middle, prefix⟩ triple
+    # (prefixes fit in 32 bits; the pair code in the rest of an int64).
+    composite = (batch.location_index * n_mid + batch.middle_index) * (
+        1 << 32
+    ) + batch.prefix24
+    for key in np.unique(composite).tolist():
+        if key not in seen_targets:
+            seen_targets.add(key)
+            pair, prefix = divmod(key, 1 << 32)
+            loc, mid = divmod(pair, n_mid)
+            new_targets.append(
+                (batch.locations[loc], batch.middles[mid], prefix)
+            )
+    return BucketSummary(
+        time=time,
+        n_quartets=len(batch),
+        results=results,
+        path_users=path_users,
+        new_targets=new_targets,
+    )
+
+
+class _ShardRunner:
+    """Per-process state: built once, reused for every shard it gets."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: BlameItConfig,
+        table: ExpectedRTTTable,
+        seed: int,
+    ) -> None:
+        self.generator = BatchQuartetGenerator(scenario)
+        self.localizer = PassiveLocalizer(config, scenario.world.targets)
+        self.table = table
+        self.seed = seed
+
+    def run_shard(self, bounds: tuple[int, int]) -> list[BucketSummary]:
+        start, end = bounds
+        seen_targets: set[int] = set()
+        summaries: list[BucketSummary] = []
+        for time in range(start, end):
+            rng = np.random.default_rng((self.seed, time))
+            batch = self.generator.generate(time, rng)
+            results = self.localizer.assign_batch(batch, self.table)
+            summaries.append(
+                _summarize_bucket(time, batch, results, seen_targets)
+            )
+        return summaries
+
+
+_WORKER_RUNNER: _ShardRunner | None = None
+
+
+def _init_worker(
+    scenario: Scenario,
+    config: BlameItConfig,
+    table: ExpectedRTTTable,
+    seed: int,
+) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = _ShardRunner(scenario, config, table, seed)
+
+
+def _run_shard(bounds: tuple[int, int]) -> list[BucketSummary]:
+    assert _WORKER_RUNNER is not None, "worker not initialized"
+    return _WORKER_RUNNER.run_shard(bounds)
+
+
+class ShardedPipeline:
+    """Drives :class:`BlameItPipeline` with sharded generation + passive.
+
+    Args:
+        scenario: The world under observation.
+        config: Tunables; paper defaults when None.
+        learner: Pre-warmed expected-RTT learner (snapshotted at run
+            start; the snapshot is cached, see
+            :meth:`ExpectedRTTLearner.table`).
+        fixed_table: Expected-RTT table used verbatim (wins over
+            ``learner``).
+        duration_predictor: Optionally pre-seeded duration history.
+        n_workers: Worker processes; ``None`` means one per CPU. With
+            one worker (or when a pool cannot be spawned) shards run in
+            process — same results, no IPC.
+        buckets_per_shard: Shard granularity; ``None`` splits the run
+            range evenly across workers.
+        alert_top_k: Tickets emitted.
+        seed: Per-bucket quartet RNG seed and probe-noise seed; must
+            match the sequential pipeline's for byte-identical runs.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: BlameItConfig | None = None,
+        learner: ExpectedRTTLearner | None = None,
+        fixed_table: ExpectedRTTTable | None = None,
+        duration_predictor: DurationPredictor | None = None,
+        n_workers: int | None = None,
+        buckets_per_shard: int | None = None,
+        alert_top_k: int = 10,
+        seed: int = 1234,
+    ) -> None:
+        self.config = config or BlameItConfig()
+        self.n_workers = (
+            max(1, multiprocessing.cpu_count()) if n_workers is None else n_workers
+        )
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.buckets_per_shard = buckets_per_shard
+        self.pipeline = BlameItPipeline(
+            scenario,
+            config=self.config,
+            learner=learner,
+            duration_predictor=duration_predictor,
+            fixed_table=fixed_table,
+            alert_top_k=alert_top_k,
+            seed=seed,
+            rng_per_bucket=True,
+        )
+        self.seed = seed
+
+    # -- delegation ----------------------------------------------------
+
+    @property
+    def scenario(self) -> Scenario:
+        return self.pipeline.scenario
+
+    def warmup(self, start: Timestamp, end: Timestamp, stride: int = 6) -> None:
+        """Train the learner/predictors (single-process, see pipeline)."""
+        self.pipeline.warmup(start, end, stride=stride)
+
+    # -- sharding ------------------------------------------------------
+
+    def _shards(self, start: Timestamp, end: Timestamp) -> list[tuple[int, int]]:
+        total = end - start
+        if total <= 0:
+            return []
+        per_shard = self.buckets_per_shard or -(-total // self.n_workers)
+        per_shard = max(1, per_shard)
+        return [
+            (t, min(end, t + per_shard)) for t in range(start, end, per_shard)
+        ]
+
+    def _map_shards(
+        self, shards: list[tuple[int, int]], table: ExpectedRTTTable
+    ) -> list[list[BucketSummary]]:
+        if self.n_workers == 1 or len(shards) <= 1:
+            runner = _ShardRunner(
+                self.scenario, self.config, table, self.seed
+            )
+            return [runner.run_shard(bounds) for bounds in shards]
+        try:
+            with multiprocessing.Pool(
+                processes=min(self.n_workers, len(shards)),
+                initializer=_init_worker,
+                initargs=(self.scenario, self.config, table, self.seed),
+            ) as pool:
+                return pool.map(_run_shard, shards)
+        except (OSError, multiprocessing.ProcessError):
+            runner = _ShardRunner(
+                self.scenario, self.config, table, self.seed
+            )
+            return [runner.run_shard(bounds) for bounds in shards]
+
+    # -- the run -------------------------------------------------------
+
+    def run(self, start: Timestamp, end: Timestamp) -> PipelineReport:
+        """Process buckets ``[start, end)`` and report.
+
+        Generation and the passive phase run sharded; everything with
+        cross-bucket or budget state (issue tracking, probing,
+        localization, alerts) folds in the parent in time order.
+        """
+        pipeline = self.pipeline
+        table = pipeline.fixed_table or pipeline.learner.table()
+        report = PipelineReport(start=start, end=end)
+        pipeline._bootstrap_baselines(start, report)  # noqa: SLF001
+
+        by_time: dict[int, BucketSummary] = {}
+        for shard in self._map_shards(self._shards(start, end), table):
+            for summary in shard:
+                by_time[summary.time] = summary
+
+        config = self.config
+        window_results: list[BlameResult] = []
+        for time in range(start, end):
+            summary = by_time.get(time)
+            if summary is not None:
+                report.total_quartets += summary.n_quartets
+                for loc, mid, prefix in summary.new_targets:
+                    if pipeline.background.register_target(loc, mid, prefix):
+                        pipeline.background.seed_target(loc, mid, prefix, time)
+                for key, users in summary.path_users.items():
+                    pipeline.client_predictor.observe(key, time, users)
+                window_results.extend(summary.results)
+            pipeline.background.run_bucket(time)
+            for update in self.scenario.updates_between(time, time + 1):
+                pipeline.background.on_bgp_update(update)
+            if (time + 1 - start) % config.run_interval_buckets == 0:
+                pipeline._process_results(  # noqa: SLF001
+                    time, window_results, report
+                )
+                window_results = []
+        if window_results:
+            pipeline._process_results(end - 1, window_results, report)  # noqa: SLF001
+        pipeline._finalize(report)  # noqa: SLF001
+        return report

@@ -1,7 +1,6 @@
 """Tests for the active-only and Trinocular-style probing baselines."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.active_only import ActiveOnlyMonitor
 from repro.baselines.trinocular import TargetBelief, TrinocularMonitor

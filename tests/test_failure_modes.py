@@ -6,7 +6,6 @@ accounting.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.blame import Blame
 from repro.core.config import BlameItConfig

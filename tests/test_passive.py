@@ -179,6 +179,63 @@ class TestGating:
         assert {r.quartet.mobile for r in results} == {False}
 
 
+class TestBoundaries:
+    """Exact-threshold behaviour of Algorithm 1 (§4.2 conventions)."""
+
+    def test_exactly_min_aggregate_is_sufficient(self):
+        """min_aggregate_quartets quartets is enough — the comparison is
+        strictly *fewer than* the minimum."""
+        quartets = [_quartet(prefix=i, rtt=90.0) for i in range(5)]
+        results = _localizer().assign(quartets, _table())
+        assert len(results) == 5
+        assert all(r.blame is Blame.CLOUD for r in results)
+
+    def test_one_below_min_aggregate_is_insufficient(self):
+        quartets = [_quartet(prefix=i, rtt=90.0) for i in range(4)]
+        results = _localizer().assign(quartets, _table())
+        assert all(r.blame is Blame.INSUFFICIENT for r in results)
+
+    def test_exactly_min_aggregate_on_middle_path(self):
+        """The same boundary applies at the middle step."""
+        bad = [_quartet(prefix=i, rtt=90.0, middle=(10,)) for i in range(5)]
+        good = [_quartet(prefix=100 + i, rtt=20.0, middle=(11,)) for i in range(12)]
+        results = _localizer().assign(bad + good, _table())
+        assert len(results) == 5
+        assert all(r.blame is Blame.MIDDLE for r in results)
+
+    def test_bad_fraction_exactly_tau_blames(self):
+        """A bad fraction of exactly τ fires (≥ τ, not > τ): 8 of 10
+        judged quartets above the learned expected RTT."""
+        above = [_quartet(prefix=i, rtt=90.0) for i in range(8)]
+        below = [_quartet(prefix=100 + i, rtt=55.0) for i in range(2)]
+        results = _localizer().assign(above + below, _table(cloud=60.0))
+        assert len(results) == 10  # all breach the 50 ms target
+        assert all(r.blame is Blame.CLOUD for r in results)
+        assert all(r.cloud_bad_fraction == pytest.approx(0.8) for r in results)
+        stricter = _localizer(tau=0.81).assign(above + below, _table(cloud=60.0))
+        assert all(r.blame is not Blame.CLOUD for r in stricter)
+
+    def test_rtt_exactly_at_expected_counts_bad(self):
+        """At-or-above the learned expected RTT is bad (>= convention);
+        under a strict > every quartet here would look good vs expected
+        and the cloud step could never fire."""
+        quartets = [_quartet(prefix=i, rtt=90.0) for i in range(6)]
+        results = _localizer().assign(quartets, _table(cloud=90.0))
+        assert len(results) == 6
+        assert all(r.blame is Blame.CLOUD for r in results)
+        assert all(r.cloud_bad_fraction == pytest.approx(1.0) for r in results)
+
+    def test_rtt_exactly_at_target_is_bad(self):
+        """Sitting exactly on the region badness target counts as bad."""
+        quartets = [_quartet(prefix=i, rtt=TARGET) for i in range(6)]
+        results = _localizer().assign(quartets, _table())
+        assert len(results) == 6
+
+    def test_rtt_just_below_target_is_good(self):
+        quartets = [_quartet(prefix=i, rtt=TARGET - 0.001) for i in range(6)]
+        assert _localizer().assign(quartets, _table()) == []
+
+
 class TestWindowing:
     def test_assign_window_groups_by_bucket(self):
         """Aggregate statistics must not leak across buckets: 4 quartets

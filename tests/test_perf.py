@@ -1,0 +1,197 @@
+"""Tests for repro.perf: vectorized paths must match the scalar reference."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.locations import RTTTargets
+from repro.core.config import BlameItConfig
+from repro.core.passive import PassiveLocalizer
+from repro.core.pipeline import BlameItPipeline
+from repro.core.quartet import Quartet, QuartetBatch
+from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
+from repro.net.geo import Region
+from repro.perf.batch import BatchQuartetGenerator
+from repro.perf.sharded import ShardedPipeline
+from repro.sim.scenario import Scenario
+
+
+def _random_quartets(rng: np.random.Generator, n: int) -> list[Quartet]:
+    """A randomized bucket exercising every Algorithm-1 branch: several
+    locations and paths, mixed mobile, RTTs straddling targets and
+    expected RTTs, sub-gate sample counts, repeated prefixes across
+    locations (ambiguity candidates)."""
+    quartets = []
+    for _ in range(n):
+        quartets.append(
+            Quartet(
+                time=0,
+                prefix24=int(rng.integers(0, 40)),
+                location_id=f"edge-{rng.integers(0, 4)}",
+                mobile=bool(rng.integers(0, 2)),
+                mean_rtt_ms=float(rng.uniform(10.0, 120.0)),
+                n_samples=int(rng.integers(1, 40)),
+                users=int(rng.integers(1, 50)),
+                client_asn=int(65000 + rng.integers(0, 6)),
+                middle=((int(rng.integers(10, 14)),)),
+                region=Region.USA,
+            )
+        )
+    return quartets
+
+
+def _random_table(rng: np.random.Generator) -> ExpectedRTTTable:
+    cloud = {}
+    middle = {}
+    for loc in range(4):
+        for mobile in (False, True):
+            if rng.random() < 0.8:  # leave some keys unknown
+                cloud[(f"edge-{loc}", mobile)] = float(rng.uniform(20.0, 80.0))
+    for asn in range(10, 14):
+        for mobile in (False, True):
+            if rng.random() < 0.8:
+                middle[((asn,), mobile)] = float(rng.uniform(20.0, 80.0))
+    return ExpectedRTTTable(cloud=cloud, middle=middle)
+
+
+def _targets() -> RTTTargets:
+    return RTTTargets(by_region={Region.USA: (50.0, 80.0)})
+
+
+class TestVectorizedPassive:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scalar_on_random_buckets(self, seed):
+        """Property test: identical results (order, blames, fractions)
+        on randomized buckets covering all decision branches."""
+        rng = np.random.default_rng(seed)
+        quartets = _random_quartets(rng, 400)
+        table = _random_table(rng)
+        scalar = PassiveLocalizer(BlameItConfig(), _targets())
+        vector = PassiveLocalizer(
+            BlameItConfig(vectorized_passive=True), _targets()
+        )
+        assert vector.assign(quartets, table) == scalar.assign(quartets, table)
+
+    def test_all_branches_hit(self):
+        """The random buckets actually exercise every blame category."""
+        rng = np.random.default_rng(0)
+        blames = set()
+        localizer = PassiveLocalizer(BlameItConfig(), _targets())
+        for _ in range(8):
+            results = localizer.assign(
+                _random_quartets(rng, 400), _random_table(rng)
+            )
+            blames.update(r.blame for r in results)
+        assert len(blames) == 5  # all Blame members
+
+    def test_empty_input(self):
+        vector = PassiveLocalizer(
+            BlameItConfig(vectorized_passive=True), _targets()
+        )
+        assert vector.assign([], ExpectedRTTTable()) == []
+
+    def test_batch_input_direct(self):
+        """assign_batch on a pre-built columnar batch equals scalar."""
+        rng = np.random.default_rng(3)
+        quartets = _random_quartets(rng, 300)
+        table = _random_table(rng)
+        scalar = PassiveLocalizer(BlameItConfig(), _targets())
+        vector = PassiveLocalizer(BlameItConfig(), _targets())
+        batch = QuartetBatch.from_quartets(quartets)
+        assert vector.assign_batch(batch, table) == scalar.assign(
+            quartets, table
+        )
+
+
+class TestQuartetBatch:
+    def test_round_trip(self):
+        quartets = _random_quartets(np.random.default_rng(1), 100)
+        assert QuartetBatch.from_quartets(quartets).to_quartets() == quartets
+
+    def test_row_returns_original(self):
+        quartets = _random_quartets(np.random.default_rng(2), 10)
+        batch = QuartetBatch.from_quartets(quartets)
+        assert batch.row(3) is quartets[3]
+
+    def test_empty(self):
+        batch = QuartetBatch.from_quartets([])
+        assert len(batch) == 0
+        assert batch.to_quartets() == []
+
+
+class TestBatchGenerator:
+    def test_matches_scalar_generation(self, small_world):
+        """Bit-identical quartets, including faulty and churning buckets."""
+        scenario = Scenario.from_world(small_world)
+        generator = BatchQuartetGenerator(scenario)
+        for time in range(0, 288, 7):
+            expected = scenario.generate_quartets(
+                time, rng=np.random.default_rng((5, time))
+            )
+            got = generator.generate_quartets(
+                time, rng=np.random.default_rng((5, time))
+            )
+            assert got == expected
+
+
+class TestShardedPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self, small_world):
+        scenario = Scenario.from_world(small_world)
+        learner = ExpectedRTTLearner(history_days=1)
+        pipeline = BlameItPipeline(scenario, learner=learner)
+        pipeline.warmup(0, 96, stride=4)
+        return scenario, learner.table()
+
+    def _config(self, **overrides) -> BlameItConfig:
+        defaults = dict(history_days=1, background_interval_buckets=36)
+        defaults.update(overrides)
+        return BlameItConfig(**defaults)
+
+    def test_matches_sequential_pipeline(self, trained):
+        """Sharded report equals the sequential per-bucket-RNG pipeline:
+        same quartet/blame counts, same issues, same alerts."""
+        scenario, table = trained
+        sequential = BlameItPipeline(
+            scenario,
+            config=self._config(),
+            fixed_table=table,
+            seed=11,
+            rng_per_bucket=True,
+        )
+        expected = sequential.run(100, 160)
+        sharded = ShardedPipeline(
+            scenario,
+            config=self._config(vectorized_passive=True),
+            fixed_table=table,
+            seed=11,
+            n_workers=1,
+            buckets_per_shard=17,  # misaligned with run_interval on purpose
+        )
+        got = sharded.run(100, 160)
+        assert got.total_quartets == expected.total_quartets
+        assert got.bad_quartets == expected.bad_quartets
+        assert got.blame_counts == expected.blame_counts
+        assert got.blame_counts_by_day == expected.blame_counts_by_day
+        assert len(got.closed_middle) == len(expected.closed_middle)
+        assert [
+            (i.key, i.first_seen, i.last_seen) for i in got.closed_middle
+        ] == [
+            (i.key, i.first_seen, i.last_seen) for i in expected.closed_middle
+        ]
+        assert got.probes_on_demand == expected.probes_on_demand
+        assert got.probes_background == expected.probes_background
+        assert [(a.blame, a.location_id, a.culprit_asn) for a in got.alerts] == [
+            (a.blame, a.location_id, a.culprit_asn) for a in expected.alerts
+        ]
+
+    def test_shard_partition_covers_range(self, trained):
+        scenario, table = trained
+        sharded = ShardedPipeline(
+            scenario, fixed_table=table, n_workers=3, buckets_per_shard=None
+        )
+        shards = sharded._shards(10, 100)
+        assert shards[0][0] == 10
+        assert shards[-1][1] == 100
+        for (_, prev_end), (next_start, _) in zip(shards, shards[1:]):
+            assert prev_end == next_start
+        assert sharded._shards(5, 5) == []

@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.core.blame import Blame
+from repro.core.blame import Blame, BlameResult
 from repro.core.config import BlameItConfig
-from repro.core.pipeline import BlameItPipeline
+from repro.core.pipeline import BlameItPipeline, _KeyedIssueTracker
+from repro.core.quartet import Quartet
 from repro.net.asn import middle_asns
+from repro.net.geo import Region
 from repro.sim.faults import Fault, FaultTarget, SegmentKind
 from repro.sim.scenario import Scenario
 
@@ -143,3 +145,86 @@ class TestHealthyRun:
         report = pipeline.run(150, 200)
         assert report.bad_quartets <= report.total_quartets * 0.05
         assert report.probes_on_demand <= 5
+
+
+class TestKeyedTrackerGapSemantics:
+    """Run stitching for cloud/client blames: sweep and displacement must
+    close a run under the same gap condition."""
+
+    CLOUD_ASN = 8075
+
+    def _result(self, asn=65001, time=0, loc="edge-A"):
+        quartet = Quartet(
+            time=time,
+            prefix24=7,
+            location_id=loc,
+            mobile=False,
+            mean_rtt_ms=90.0,
+            n_samples=20,
+            users=10,
+            client_asn=asn,
+            middle=(10,),
+            region=Region.USA,
+        )
+        return BlameResult(quartet, Blame.CLIENT, 0.1, 0.1)
+
+    def _tracker(self) -> _KeyedIssueTracker:
+        return _KeyedIssueTracker(Blame.CLIENT, gap_buckets=1)
+
+    def test_blame_within_gap_extends_run(self):
+        """A one-bucket gap (== gap_buckets) does not end the run."""
+        tracker = self._tracker()
+        tracker.update(0, [self._result(time=0)], self.CLOUD_ASN)
+        closed = tracker.update(1, [self._result(time=1)], self.CLOUD_ASN)
+        assert closed == []
+        (issue,) = tracker.open.values()
+        assert issue.first_seen == 0
+        assert issue.last_seen == 1
+
+    def test_sweep_closes_after_gap(self):
+        """An end-of-bucket sweep with no matching blame closes the run
+        once more than gap_buckets buckets passed."""
+        tracker = self._tracker()
+        tracker.update(0, [self._result(time=0)], self.CLOUD_ASN)
+        assert tracker.update(1, [], self.CLOUD_ASN) == []
+        closed = tracker.update(2, [], self.CLOUD_ASN)
+        assert len(closed) == 1
+        assert closed[0].first_seen == 0
+        assert tracker.open == {}
+
+    def test_displacement_agrees_with_sweep(self):
+        """A fresh blame arriving just past the gap starts a *new* run —
+        under the same `> gap_buckets` condition the sweep uses (update
+        may not have run for the quiet buckets in between)."""
+        tracker = self._tracker()
+        tracker.update(0, [self._result(time=0)], self.CLOUD_ASN)
+        closed = tracker.update(2, [self._result(time=2)], self.CLOUD_ASN)
+        assert len(closed) == 1
+        assert closed[0].first_seen == 0
+        assert closed[0].last_seen == 0
+        (issue,) = tracker.open.values()
+        assert issue.first_seen == 2
+
+    def test_update_returns_only_newly_closed(self):
+        """Earlier closures must not be re-reported by later updates."""
+        tracker = self._tracker()
+        tracker.update(0, [self._result(asn=65001, time=0)], self.CLOUD_ASN)
+        first = tracker.update(2, [], self.CLOUD_ASN)
+        assert len(first) == 1
+        tracker.update(10, [self._result(asn=65002, time=10)], self.CLOUD_ASN)
+        later = tracker.update(13, [], self.CLOUD_ASN)
+        assert len(later) == 1
+        assert later[0].key == 65002
+        assert len(tracker.closed) == 2
+
+    def test_independent_keys_tracked_separately(self):
+        tracker = self._tracker()
+        tracker.update(
+            0,
+            [self._result(asn=65001, time=0), self._result(asn=65002, time=0)],
+            self.CLOUD_ASN,
+        )
+        closed = tracker.update(2, [self._result(asn=65001, time=2)], self.CLOUD_ASN)
+        # Both runs ended: 65001 displaced, 65002 swept.
+        assert {issue.key for issue in closed} == {65001, 65002}
+

@@ -1,6 +1,5 @@
 """Unit tests for verdict aggregation and the client-verify flow."""
 
-import pytest
 
 from repro.core.background import BaselineStore, ReverseBaselineStore
 from repro.core.localize import CulpritVerdict

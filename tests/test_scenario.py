@@ -10,7 +10,6 @@ from repro.sim.scenario import (
     RerouteEvent,
     Scenario,
     ScenarioParams,
-    build_world,
 )
 from repro.net.geo import Region
 

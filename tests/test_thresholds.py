@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.quartet import Quartet
-from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
+from repro.core.thresholds import ExpectedRTTLearner
 from repro.net.geo import Region
 
 
@@ -96,6 +96,40 @@ class TestLearner:
     def test_validation(self):
         with pytest.raises(ValueError):
             ExpectedRTTLearner(history_days=0)
+
+
+class TestTableCache:
+    def test_snapshot_reused_when_history_unchanged(self):
+        learner = ExpectedRTTLearner()
+        learner.observe(_quartet(rtt=40.0))
+        assert learner.table() is learner.table()
+        assert learner.table(as_of_day=0) is learner.table(as_of_day=0)
+
+    def test_distinct_windows_cached_separately(self):
+        learner = ExpectedRTTLearner()
+        learner.observe(_quartet(rtt=40.0))
+        assert learner.table(as_of_day=0) is not learner.table(as_of_day=5)
+
+    def test_observe_invalidates(self):
+        learner = ExpectedRTTLearner()
+        learner.observe(_quartet(rtt=40.0))
+        before = learner.table()
+        learner.observe(_quartet(rtt=90.0, time=288))
+        after = learner.table()
+        assert after is not before
+        assert after.expected_cloud("edge-X", False) != before.expected_cloud(
+            "edge-X", False
+        )
+
+    def test_prune_invalidates(self):
+        learner = ExpectedRTTLearner()
+        learner.observe(_quartet(rtt=40.0, time=0))
+        learner.observe(_quartet(rtt=90.0, time=20 * 288))
+        before = learner.table()
+        learner.prune_before(day=10)
+        after = learner.table()
+        assert after is not before
+        assert after.expected_cloud("edge-X", False) == pytest.approx(90.0)
 
 
 class TestDistributionShiftDetector:
