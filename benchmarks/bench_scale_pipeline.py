@@ -11,6 +11,13 @@ Reports throughput in quartets/sec and the speedup, asserts the two
 paths produce byte-identical blame counts, and appends a JSON record to
 ``BENCH_scale.json`` at the repo root so the trend is tracked across
 commits.
+
+The timed runs use the default NullRegistry (instrumentation disabled —
+its cost is what the <5 % overhead acceptance bound is about); a short
+metrics-enabled sharded run afterwards snapshots per-phase spans and
+counters into ``BENCH_scale_metrics.json`` next to the main record, so
+a throughput regression can be attributed to a phase rather than a
+wall-clock blur.
 """
 
 from __future__ import annotations
@@ -25,10 +32,15 @@ from _util import emit
 from repro.core.config import BlameItConfig
 from repro.core.pipeline import BlameItPipeline
 from repro.core.thresholds import ExpectedRTTLearner
+from repro.obs import MetricsRegistry, validate_snapshot
 from repro.perf.sharded import ShardedPipeline
 from repro.sim.scenario import BUCKETS_PER_DAY, Scenario, ScenarioParams, build_world
 
 RESULTS_FILE = pathlib.Path(__file__).parent.parent / "BENCH_scale.json"
+METRICS_FILE = pathlib.Path(__file__).parent.parent / "BENCH_scale_metrics.json"
+
+#: Buckets of the short metrics-enabled run that produces the snapshot.
+METRICS_DAYS = 2
 
 #: One warmup day, then a 30-day measured month.
 MONTH_DAYS = 30
@@ -65,6 +77,35 @@ def _run_fast(scenario, table):
         n_workers=max(1, multiprocessing.cpu_count()),
     )
     return pipeline.run(START, END)
+
+
+def _emit_metrics_snapshot(scenario, table):
+    """One short observability-enabled sharded run; writes the snapshot."""
+    metrics = MetricsRegistry()
+    pipeline = ShardedPipeline(
+        scenario,
+        config=BlameItConfig(vectorized_passive=True),
+        fixed_table=table,
+        seed=SEED,
+        n_workers=max(1, multiprocessing.cpu_count()),
+        metrics=metrics,
+    )
+    report = pipeline.run(START, START + METRICS_DAYS * BUCKETS_PER_DAY)
+    snapshot = report.metrics
+    validate_snapshot(snapshot)
+    METRICS_FILE.write_text(
+        json.dumps(
+            {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "buckets": METRICS_DAYS * BUCKETS_PER_DAY,
+                "snapshot": snapshot,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return snapshot
 
 
 def test_scale_pipeline(benchmark):
@@ -120,6 +161,13 @@ def test_scale_pipeline(benchmark):
         json.dumps(history, indent=2) + "\n", encoding="utf-8"
     )
 
+    snapshot = _emit_metrics_snapshot(scenario, table)
+    phase_seconds = {
+        name.removeprefix("phase."): round(data["total"], 3)
+        for name, data in sorted(snapshot["spans"].items())
+        if name.startswith("phase.")
+    }
+
     lines = [
         f"month-scale run: {MONTH_DAYS} days, {END - START} buckets, "
         f"{len(scenario.world.slots)} slots, {quartets:,} quartets",
@@ -128,6 +176,9 @@ def test_scale_pipeline(benchmark):
         f"({record['workers']} worker(s))",
         f"speedup  : {speedup:.2f}x  (floor {MIN_SPEEDUP}x)",
         "blame counts byte-identical: True",
+        f"phase seconds ({METRICS_DAYS}-day instrumented run): "
+        + ", ".join(f"{k}={v}" for k, v in phase_seconds.items()),
+        f"metrics snapshot: {METRICS_FILE.name}",
     ]
     emit("scale_pipeline", "\n".join(lines))
 

@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the §5.1 reverse-traceroute extension",
     )
     p_diag.add_argument("--top", type=int, default=5, help="alerts to print")
+    p_diag.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="enable the repro.obs observability layer and write the "
+        "run's metrics snapshot (counters, gauges, per-phase spans) as "
+        "JSON",
+    )
 
     p_val = sub.add_parser(
         "validate", help="generate labelled incidents and score localization"
@@ -191,7 +198,12 @@ def _cmd_diagnose(args) -> int:
         probe_budget_per_window=args.budget,
         use_reverse_traceroutes=args.reverse,
     )
-    pipeline = BlameItPipeline(scenario, config=config)
+    metrics = None
+    if getattr(args, "metrics_json", None):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    pipeline = BlameItPipeline(scenario, config=config, metrics=metrics)
     warmup_end = min(args.start, 288)
     pipeline.warmup(0, warmup_end, stride=3)
     report = pipeline.run(args.start, end)
@@ -227,6 +239,25 @@ def _cmd_diagnose(args) -> int:
                 f"  [{alert.team}] {alert.blame} impact={alert.impact:.0f} "
                 f"culprit=AS{alert.culprit_asn} {alert.detail}"
             )
+    if getattr(args, "metrics_json", None):
+        import json
+        import pathlib
+
+        pathlib.Path(args.metrics_json).write_text(
+            json.dumps(report.metrics, indent=2) + "\n", encoding="utf-8"
+        )
+        spans = (report.metrics or {}).get("spans", {})
+        phase_totals = {
+            name.removeprefix("phase."): data["total"]
+            for name, data in sorted(spans.items())
+            if name.startswith("phase.")
+        }
+        if phase_totals:
+            print(
+                "\nphase seconds: "
+                + ", ".join(f"{k}={v:.2f}" for k, v in phase_totals.items())
+            )
+        print(f"metrics snapshot written to {args.metrics_json}")
     if getattr(args, "save_report", None):
         from repro.io import save_report
 

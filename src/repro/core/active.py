@@ -22,6 +22,7 @@ from repro.core.prediction import ClientCountPredictor, DurationPredictor
 from repro.net.addressing import Prefix24
 from repro.net.asn import ASPath
 from repro.net.bgp import Timestamp
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 #: Issue identity: the aggregate the paper probes per.
 IssueKey = tuple[str, ASPath]  # (location_id, middle path)
@@ -103,17 +104,24 @@ class IssueTracker:
                 MIDDLE ones are used).
 
         Returns:
-            (open issues, issues that just closed).
+            (open issues, issues that just closed — whether swept by the
+            end-of-bucket expiry or displaced by a fresh blame).
         """
+        displaced: list[MiddleIssue] = []
         for result in results:
             if result.blame is not Blame.MIDDLE:
                 continue
             quartet = result.quartet
             key = (quartet.location_id, quartet.middle)
             issue = self.open_issues.get(key)
-            if issue is None or time - issue.last_seen > self.gap_buckets + 1:
+            # Strictly more than gap_buckets of silence ends a run — the
+            # same condition _expire uses, so a blame recurring after the
+            # gap starts a new serial instead of resurrecting a run the
+            # sweep would already have closed.
+            if issue is None or time - issue.last_seen > self.gap_buckets:
                 if issue is not None:
                     self._close(issue)
+                    displaced.append(issue)
                 issue = MiddleIssue(
                     location_id=quartet.location_id,
                     middle=quartet.middle,
@@ -128,7 +136,7 @@ class IssueTracker:
             issue.users_by_bucket[time] = (
                 issue.users_by_bucket.get(time, 0) + quartet.users
             )
-        newly_closed = self._expire(time)
+        newly_closed = displaced + self._expire(time)
         return list(self.open_issues.values()), newly_closed
 
     def close_all(self) -> list[MiddleIssue]:
@@ -160,21 +168,29 @@ class ProbeBudget:
 
     The paper avoids per-AS budgets and sets a larger budget per cloud
     location; here the budget refreshes every window.
+
+    Attributes:
+        denied: Denials in the *current* window (reset by
+            :meth:`start_window` — the per-window denial metric).
+        denied_total: Cumulative denials across every window.
     """
 
     per_location_per_window: int
     _used: dict[str, int] = field(default_factory=dict)
     denied: int = 0
+    denied_total: int = 0
 
     def start_window(self) -> None:
-        """Reset usage at the start of a run window."""
+        """Reset usage and the per-window denial count."""
         self._used.clear()
+        self.denied = 0
 
     def try_consume(self, location_id: str) -> bool:
         """Consume one probe slot for a location if available."""
         used = self._used.get(location_id, 0)
         if used >= self.per_location_per_window:
             self.denied += 1
+            self.denied_total += 1
             return False
         self._used[location_id] = used + 1
         return True
@@ -201,11 +217,13 @@ class OnDemandProber:
         duration_predictor: DurationPredictor,
         client_predictor: ClientCountPredictor,
         budget: ProbeBudget,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.engine = engine
         self.duration_predictor = duration_predictor
         self.client_predictor = client_predictor
         self.budget = budget
+        self.metrics = metrics or NULL_REGISTRY
         self.probes_issued = 0
 
     def priority(self, issue: MiddleIssue, now: Timestamp) -> float:
@@ -230,15 +248,22 @@ class OnDemandProber:
         so a single "during" measurement suffices).
         """
         self.budget.start_window()
-        candidates = [issue for issue in open_issues if not issue.probed]
-        candidates.sort(key=lambda i: (-self.priority(i, now), i.key))
+        # Priority inputs are fixed within a window, so compute each
+        # issue's score once and reuse it for both the sort and the
+        # reported ProbedIssue.priority.
+        ranked = sorted(
+            ((self.priority(issue, now), issue) for issue in open_issues
+             if not issue.probed),
+            key=lambda pair: (-pair[0], pair[1].key),
+        )
         probed: list[ProbedIssue] = []
-        for issue in candidates:
+        for priority, issue in ranked:
             if not self.budget.try_consume(issue.location_id):
                 continue
             prefix = issue.representative_prefix()
             result = self.engine.issue(issue.location_id, prefix, now)
             self.probes_issued += 1
+            self.metrics.counter("probe.on_demand.issued").inc()
             issue.probed = True
             probed.append(
                 ProbedIssue(
@@ -246,8 +271,9 @@ class OnDemandProber:
                     prefix24=prefix,
                     time=now,
                     result=result,
-                    priority=self.priority(issue, now),
+                    priority=priority,
                     issue_first_seen=issue.first_seen,
                 )
             )
+        self.metrics.counter("probe.on_demand.denied").inc(self.budget.denied)
         return probed

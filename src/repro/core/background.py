@@ -24,6 +24,7 @@ from repro.cloud.traceroute import TracerouteEngine, TracerouteResult
 from repro.net.addressing import Prefix24
 from repro.net.asn import ASPath, middle_asns
 from repro.net.bgp import BGPUpdate, BGPUpdateKind, Timestamp
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 #: Background target identity.
 TargetKey = tuple[str, ASPath]  # (location_id, middle path)
@@ -175,11 +176,14 @@ class BackgroundProber:
     reverse_store: BaselineStore | None = None
     probes_periodic: int = 0
     probes_churn: int = 0
+    metrics: MetricsRegistry | None = None
     _targets: dict[TargetKey, Prefix24] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.interval_buckets < 1:
             raise ValueError("interval_buckets must be >= 1")
+        if self.metrics is None:
+            self.metrics = NULL_REGISTRY
 
     def _probe(
         self, location_id: str, prefix24: Prefix24, time: Timestamp
@@ -235,8 +239,10 @@ class BackgroundProber:
                 continue
             result = self._probe(key[0], prefix, time)
             self.probes_periodic += 1
+            self.metrics.counter("probe.background.periodic").inc()
             if result is not None:
                 results.append(result)
+        self.metrics.gauge("probe.background.targets").set(len(self._targets))
         return results
 
     def seed_target(
@@ -249,6 +255,7 @@ class BackgroundProber:
         """
         result = self._probe(location_id, prefix24, time)
         self.probes_periodic += 1
+        self.metrics.counter("probe.background.seed").inc()
         return result
 
     # -- churn triggers ------------------------------------------------------
@@ -268,6 +275,7 @@ class BackgroundProber:
         key, prefix = target
         result = self._probe(update.location_id, prefix, update.time)
         self.probes_churn += 1
+        self.metrics.counter("probe.background.churn").inc()
         if result is not None:
             if update.kind is BGPUpdateKind.ANNOUNCE and update.new_path is not None:
                 # Track the target under its new middle path as well.

@@ -37,6 +37,7 @@ from repro.core.config import BlameItConfig
 from repro.core.quartet import Quartet, QuartetBatch
 from repro.core.thresholds import ExpectedRTTTable
 from repro.net.asn import ASPath
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 def _nan_if_none(value: float | None) -> float:
@@ -63,9 +64,23 @@ class _AggregateStats:
 class PassiveLocalizer:
     """Runs Algorithm 1 over the quartets of one time window."""
 
-    def __init__(self, config: BlameItConfig, targets: RTTTargets) -> None:
+    def __init__(
+        self,
+        config: BlameItConfig,
+        targets: RTTTargets,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config
         self.targets = targets
+        self.metrics = metrics or NULL_REGISTRY
+
+    def _count_results(self, gated_out: int, results: list[BlameResult]) -> None:
+        """Record the sample gate and the blame mix for one bucket."""
+        metrics = self.metrics
+        metrics.counter("passive.gated_out").inc(gated_out)
+        metrics.counter("passive.bad").inc(len(results))
+        for result in results:
+            metrics.counter(f"passive.blame.{result.blame.value}").inc()
 
     # -- public API -----------------------------------------------------
 
@@ -85,19 +100,21 @@ class PassiveLocalizer:
         """
         if self.config.vectorized_passive:
             return self.assign_batch(QuartetBatch.from_quartets(quartets), table)
-        gated = [
-            q for q in quartets if q.n_samples >= self.config.min_quartet_samples
-        ]
-        cloud_stats = self._cloud_stats(gated, table)
-        middle_stats = self._middle_stats(gated, table)
-        good_elsewhere = self._good_elsewhere_index(gated)
-        results: list[BlameResult] = []
-        for quartet in gated:
-            if not self.is_bad(quartet):
-                continue
-            results.append(
-                self._assign_one(quartet, cloud_stats, middle_stats, good_elsewhere)
-            )
+        with self.metrics.span("passive.scalar"):
+            gated = [
+                q for q in quartets if q.n_samples >= self.config.min_quartet_samples
+            ]
+            cloud_stats = self._cloud_stats(gated, table)
+            middle_stats = self._middle_stats(gated, table)
+            good_elsewhere = self._good_elsewhere_index(gated)
+            results: list[BlameResult] = []
+            for quartet in gated:
+                if not self.is_bad(quartet):
+                    continue
+                results.append(
+                    self._assign_one(quartet, cloud_stats, middle_stats, good_elsewhere)
+                )
+        self._count_results(len(quartets) - len(gated), results)
         return results
 
     def assign_window(
@@ -129,10 +146,18 @@ class PassiveLocalizer:
         blames, same fractions) to the scalar reference on the same
         quartets — asserted by the property tests.
         """
+        with self.metrics.span("passive.vectorized"):
+            gated_out, results = self._assign_batch(batch, table)
+        self._count_results(gated_out, results)
+        return results
+
+    def _assign_batch(
+        self, batch: QuartetBatch, table: ExpectedRTTTable
+    ) -> tuple[int, list[BlameResult]]:
         config = self.config
         gate = np.nonzero(batch.n_samples >= config.min_quartet_samples)[0]
         if len(gate) == 0:
-            return []
+            return len(batch), []
         rtt = batch.mean_rtt_ms[gate]
         mobile = batch.mobile[gate]
         loc_idx = batch.location_index[gate]
@@ -262,7 +287,7 @@ class PassiveLocalizer:
                     middle_fraction,
                 )
             )
-        return results
+        return len(batch) - len(gate), results
 
     def is_bad(self, quartet: Quartet) -> bool:
         """Whether a quartet's average RTT breaches its region target.

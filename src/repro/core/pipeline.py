@@ -38,6 +38,7 @@ from repro.core.quartet import Quartet
 from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
 from repro.net.asn import ASPath, middle_asns
 from repro.net.bgp import Timestamp
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.sim.scenario import BUCKETS_PER_DAY, Scenario
 
 
@@ -102,12 +103,22 @@ class _KeyedIssueTracker:
         by the end-of-bucket pass or displaced by a fresh blame arriving
         after the gap (update may not have run for the quiet buckets in
         between, so the displacement check must agree with the sweep).
+
+        The sweep runs *before* the current bucket's co-located vote
+        totals are credited: an issue quiet past the gap is already over,
+        and crediting it votes from a bucket it took no part in would
+        dilute its confidence.
         """
         votes_total: Counter = Counter()
         for result in results:
             key, _ = self._key_and_culprit(self.blame, result, cloud_asn)
             votes_total[key] += 1
         closed_now: list[SegmentIssue] = []
+        for key, issue in list(self.open.items()):
+            if time - issue.last_seen > self.gap_buckets:
+                del self.open[key]
+                self.closed.append(issue)
+                closed_now.append(issue)
         for result in results:
             if result.blame is not self.blame:
                 continue
@@ -132,13 +143,9 @@ class _KeyedIssueTracker:
             if issue.sample_prefix is None or result.quartet.prefix24 < issue.sample_prefix:
                 issue.sample_prefix = result.quartet.prefix24
                 issue.location_id = result.quartet.location_id
-        for key, issue in list(self.open.items()):
+        for key, issue in self.open.items():
             if key in votes_total:
                 issue.votes_total += votes_total[key]
-            if time - issue.last_seen > self.gap_buckets:
-                del self.open[key]
-                self.closed.append(issue)
-                closed_now.append(issue)
         return closed_now
 
     def close_all(self) -> None:
@@ -183,6 +190,8 @@ class PipelineReport:
         probes_churn: The churn-triggered subset.
         probes_bootstrap: Initial baseline-sweep probes.
         alerts: Emitted top-k tickets.
+        metrics: Snapshot of the run's :class:`~repro.obs.MetricsRegistry`
+            (None when the pipeline ran with the default NullRegistry).
     """
 
     start: Timestamp
@@ -200,6 +209,7 @@ class PipelineReport:
     probes_churn: int = 0
     probes_bootstrap: int = 0
     alerts: list[Alert] = field(default_factory=list)
+    metrics: dict | None = None
 
     def blame_fractions(self) -> dict[Blame, float]:
         """Category shares among blamed quartets (sums to 1)."""
@@ -237,6 +247,7 @@ class BlameItPipeline:
         alert_top_k: int = 10,
         seed: int = 1234,
         rng_per_bucket: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """
         Args:
@@ -258,12 +269,19 @@ class BlameItPipeline:
                 of which buckets were generated before it — the property
                 the sharded driver relies on to match this sequential
                 pipeline byte-for-byte.
+            metrics: Observability registry threaded through every phase
+                (see :mod:`repro.obs`); the default NullRegistry records
+                nothing at ~zero cost, and the run's report then carries
+                ``metrics=None``.
         """
         self.scenario = scenario
         self.config = config or BlameItConfig()
+        self.metrics = metrics or NULL_REGISTRY
         self.fixed_table = fixed_table
         self.learner = learner or ExpectedRTTLearner(self.config.history_days)
-        self.passive = PassiveLocalizer(self.config, scenario.world.targets)
+        self.passive = PassiveLocalizer(
+            self.config, scenario.world.targets, metrics=self.metrics
+        )
         self.engine = TracerouteEngine(scenario, np.random.default_rng(seed))
         self.baselines = BaselineStore()
         self.reverse_baselines = (
@@ -275,6 +293,7 @@ class BlameItPipeline:
             interval_buckets=self.config.background_interval_buckets,
             churn_triggered=self.config.churn_triggered_probes,
             reverse_store=self.reverse_baselines,
+            metrics=self.metrics,
         )
         self.duration_predictor = duration_predictor or DurationPredictor()
         self.client_predictor = ClientCountPredictor(self.config.client_history_days)
@@ -284,6 +303,7 @@ class BlameItPipeline:
             duration_predictor=self.duration_predictor,
             client_predictor=self.client_predictor,
             budget=ProbeBudget(self.config.probe_budget_per_window),
+            metrics=self.metrics,
         )
         self.cloud_tracker = _KeyedIssueTracker(Blame.CLOUD)
         self.client_tracker = _KeyedIssueTracker(Blame.CLIENT)
@@ -338,6 +358,7 @@ class BlameItPipeline:
         steady-state background schedule).
         """
         report = PipelineReport(start=start, end=end)
+        metrics = self.metrics
         self._bootstrap_baselines(start, report)
         window: list[Quartet] = []
         table = self.fixed_table or self.learner.table()
@@ -347,12 +368,16 @@ class BlameItPipeline:
             if self.fixed_table is None and day != table_day:
                 table = self.learner.table(as_of_day=day)
                 table_day = day
-            quartets = self.scenario.generate_quartets(
-                time, rng=self.bucket_rng(time)
-            )
+            with metrics.span("phase.generation"):
+                quartets = self.scenario.generate_quartets(
+                    time, rng=self.bucket_rng(time)
+                )
             report.total_quartets += len(quartets)
+            metrics.counter("pipeline.buckets").inc()
+            metrics.counter("pipeline.quartets").inc(len(quartets))
             if self.fixed_table is None:
-                self.learner.observe_all(quartets)
+                with metrics.span("phase.learning"):
+                    self.learner.observe_all(quartets)
             self._observe_clients(time, quartets)
             for quartet in quartets:
                 if self.background.register_target(
@@ -427,7 +452,8 @@ class BlameItPipeline:
         table,
         report: PipelineReport,
     ) -> None:
-        results = self.passive.assign_window(window, table)
+        with self.metrics.span("phase.passive"):
+            results = self.passive.assign_window(window, table)
         self._process_results(now, results, report)
 
     def _process_results(
@@ -443,6 +469,7 @@ class BlameItPipeline:
         reuse the tracking / probing / localization flow unchanged.
         """
         report.bad_quartets += len(results)
+        metrics = self.metrics
         day = now // BUCKETS_PER_DAY
         day_counter = report.blame_counts_by_day.setdefault(day, Counter())
         by_bucket: dict[Timestamp, list[BlameResult]] = {}
@@ -452,17 +479,20 @@ class BlameItPipeline:
             by_bucket.setdefault(result.quartet.time, []).append(result)
         open_issues: list[MiddleIssue] = []
         cloud_asn = self.scenario.world.cloud_asn
-        for time in sorted(by_bucket):
-            bucket_results = by_bucket[time]
-            open_issues, closed = self.tracker.update(time, bucket_results)
-            self._record_closed_middle(closed, report)
-            self.cloud_tracker.update(time, bucket_results, cloud_asn)
-            self.client_tracker.update(time, bucket_results, cloud_asn)
-        probed = self.on_demand.probe_window(now, open_issues)
-        for probe in probed:
-            report.localized.append(self._localize(probe))
-        if self.reverse_baselines is not None:
-            self._verify_client_issues(now, report)
+        with metrics.span("phase.tracking"):
+            for time in sorted(by_bucket):
+                bucket_results = by_bucket[time]
+                open_issues, closed = self.tracker.update(time, bucket_results)
+                self._record_closed_middle(closed, report)
+                self.cloud_tracker.update(time, bucket_results, cloud_asn)
+                self.client_tracker.update(time, bucket_results, cloud_asn)
+        with metrics.span("phase.probing"):
+            probed = self.on_demand.probe_window(now, open_issues)
+        with metrics.span("phase.localization"):
+            for probe in probed:
+                report.localized.append(self._localize(probe))
+            if self.reverse_baselines is not None:
+                self._verify_client_issues(now, report)
 
     def _localize(self, probe: ProbedIssue) -> LocalizedIssue:
         """Compare the on-demand probe against pre-issue baselines.
@@ -479,7 +509,11 @@ class BlameItPipeline:
             candidates = self.baselines.get_candidates(
                 location_id, probe.prefix24, middle, before=probe.issue_first_seen
             )
-            for baseline in candidates[:1] + candidates[-1:]:
+            # Newest and oldest candidate; with a single baseline the two
+            # slices name the same measurement, which must be consulted
+            # once, not twice (each comparison costs a traceroute diff —
+            # and a reverse-path diff under the extension).
+            for baseline in candidates[:1] + candidates[1:][-1:]:
                 if reverse_pair is not None:
                     candidate = localize_bidirectional(
                         baseline, probe.result, *reverse_pair
@@ -511,12 +545,14 @@ class BlameItPipeline:
             if issue.probed or issue.sample_prefix is None:
                 continue
             if not self.on_demand.budget.try_consume(issue.location_id):
+                self.metrics.counter("probe.client_verify.denied").inc()
                 continue
             issue.probed = True
             forward_current = self.engine.issue(
                 issue.location_id, issue.sample_prefix, now
             )
             self.on_demand.probes_issued += 1
+            self.metrics.counter("probe.client_verify.issued").inc()
             if forward_current is None:
                 continue
             probe = ProbedIssue(
@@ -598,6 +634,7 @@ class BlameItPipeline:
                 continue
             self._recorded_middle.add(issue.serial)
             report.closed_middle.append(issue)
+            self.metrics.counter("tracker.middle.closed").inc()
             self.duration_predictor.observe(issue.duration, key=issue.key)
 
     def _finalize(self, report: PipelineReport) -> None:
@@ -610,7 +647,16 @@ class BlameItPipeline:
         report.probes_on_demand = self.on_demand.probes_issued
         report.probes_background = self.background.probes_total
         report.probes_churn = self.background.probes_churn
-        report.alerts = self._build_alerts(report)
+        with self.metrics.span("phase.alerting"):
+            report.alerts = self._build_alerts(report)
+        metrics = self.metrics
+        metrics.counter("tracker.cloud.closed").inc(len(report.closed_cloud))
+        metrics.counter("tracker.client.closed").inc(len(report.closed_client))
+        metrics.gauge("probe.budget.denied_total").set(
+            self.on_demand.budget.denied_total
+        )
+        if metrics.enabled:
+            report.metrics = metrics.snapshot()
 
     def _build_alerts(self, report: PipelineReport) -> list[Alert]:
         manager = AlertManager(self.alert_top_k)

@@ -218,6 +218,7 @@ def report_to_dict(report: PipelineReport) -> dict[str, Any]:
             }
             for alert in report.alerts
         ],
+        "metrics": report.metrics,
     }
 
 

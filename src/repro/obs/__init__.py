@@ -1,0 +1,41 @@
+"""Lightweight metrics/tracing for the BlameIt pipeline (`repro.obs`).
+
+See :mod:`repro.obs.metrics` for the instruments and registry; the
+pipeline's span names are listed in :data:`PHASE_SPANS`.
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Snapshot,
+    validate_snapshot,
+)
+
+#: Per-phase wall-clock spans the pipeline records (a sequential run
+#: with learning enabled records all of them; fixed-table and sharded
+#: runs omit ``phase.learning``).
+PHASE_SPANS = (
+    "phase.generation",
+    "phase.learning",
+    "phase.passive",
+    "phase.tracking",
+    "phase.probing",
+    "phase.localization",
+    "phase.alerting",
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "PHASE_SPANS",
+    "Snapshot",
+    "validate_snapshot",
+]

@@ -38,6 +38,7 @@ from repro.core.quartet import QuartetBatch
 from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
 from repro.net.asn import ASPath
 from repro.net.bgp import Timestamp
+from repro.obs import NULL_REGISTRY, MetricsRegistry, Snapshot
 from repro.perf.batch import BatchQuartetGenerator
 from repro.sim.scenario import Scenario
 
@@ -103,24 +104,39 @@ class _ShardRunner:
         config: BlameItConfig,
         table: ExpectedRTTTable,
         seed: int,
+        metrics_enabled: bool = False,
     ) -> None:
         self.generator = BatchQuartetGenerator(scenario)
+        self.metrics_enabled = metrics_enabled
         self.localizer = PassiveLocalizer(config, scenario.world.targets)
         self.table = table
         self.seed = seed
 
-    def run_shard(self, bounds: tuple[int, int]) -> list[BucketSummary]:
+    def run_shard(
+        self, bounds: tuple[int, int]
+    ) -> tuple[list[BucketSummary], Snapshot | None]:
+        """Process one shard; returns its summaries plus, when
+        observability is on, the shard's metrics snapshot for the parent
+        to merge at fold time.
+
+        The registry is fresh per shard (a runner serves many shards and
+        each snapshot is merged once, so carrying counts across shards
+        would double-count them).
+        """
+        metrics = MetricsRegistry() if self.metrics_enabled else NULL_REGISTRY
+        self.localizer.metrics = metrics
         start, end = bounds
         seen_targets: set[int] = set()
         summaries: list[BucketSummary] = []
         for time in range(start, end):
             rng = np.random.default_rng((self.seed, time))
-            batch = self.generator.generate(time, rng)
+            with metrics.span("phase.generation"):
+                batch = self.generator.generate(time, rng)
             results = self.localizer.assign_batch(batch, self.table)
             summaries.append(
                 _summarize_bucket(time, batch, results, seen_targets)
             )
-        return summaries
+        return summaries, metrics.snapshot() if metrics.enabled else None
 
 
 _WORKER_RUNNER: _ShardRunner | None = None
@@ -131,12 +147,15 @@ def _init_worker(
     config: BlameItConfig,
     table: ExpectedRTTTable,
     seed: int,
+    metrics_enabled: bool,
 ) -> None:
     global _WORKER_RUNNER
-    _WORKER_RUNNER = _ShardRunner(scenario, config, table, seed)
+    _WORKER_RUNNER = _ShardRunner(scenario, config, table, seed, metrics_enabled)
 
 
-def _run_shard(bounds: tuple[int, int]) -> list[BucketSummary]:
+def _run_shard(
+    bounds: tuple[int, int]
+) -> tuple[list[BucketSummary], Snapshot | None]:
     assert _WORKER_RUNNER is not None, "worker not initialized"
     return _WORKER_RUNNER.run_shard(bounds)
 
@@ -161,6 +180,10 @@ class ShardedPipeline:
         alert_top_k: Tickets emitted.
         seed: Per-bucket quartet RNG seed and probe-noise seed; must
             match the sequential pipeline's for byte-identical runs.
+        metrics: Observability registry (see :mod:`repro.obs`). Workers
+            record into their own registries (generation spans, passive
+            counters) and the parent merges their snapshots at fold time,
+            so counter totals match the sequential pipeline's.
     """
 
     def __init__(
@@ -174,8 +197,10 @@ class ShardedPipeline:
         buckets_per_shard: int | None = None,
         alert_top_k: int = 10,
         seed: int = 1234,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or BlameItConfig()
+        self.metrics = metrics or NULL_REGISTRY
         self.n_workers = (
             max(1, multiprocessing.cpu_count()) if n_workers is None else n_workers
         )
@@ -191,6 +216,7 @@ class ShardedPipeline:
             alert_top_k=alert_top_k,
             seed=seed,
             rng_per_bucket=True,
+            metrics=metrics,
         )
         self.seed = seed
 
@@ -218,22 +244,23 @@ class ShardedPipeline:
 
     def _map_shards(
         self, shards: list[tuple[int, int]], table: ExpectedRTTTable
-    ) -> list[list[BucketSummary]]:
+    ) -> list[tuple[list[BucketSummary], "Snapshot | None"]]:
+        enabled = self.metrics.enabled
         if self.n_workers == 1 or len(shards) <= 1:
             runner = _ShardRunner(
-                self.scenario, self.config, table, self.seed
+                self.scenario, self.config, table, self.seed, enabled
             )
             return [runner.run_shard(bounds) for bounds in shards]
         try:
             with multiprocessing.Pool(
                 processes=min(self.n_workers, len(shards)),
                 initializer=_init_worker,
-                initargs=(self.scenario, self.config, table, self.seed),
+                initargs=(self.scenario, self.config, table, self.seed, enabled),
             ) as pool:
                 return pool.map(_run_shard, shards)
         except (OSError, multiprocessing.ProcessError):
             runner = _ShardRunner(
-                self.scenario, self.config, table, self.seed
+                self.scenario, self.config, table, self.seed, enabled
             )
             return [runner.run_shard(bounds) for bounds in shards]
 
@@ -247,21 +274,25 @@ class ShardedPipeline:
         localization, alerts) folds in the parent in time order.
         """
         pipeline = self.pipeline
+        metrics = self.metrics
         table = pipeline.fixed_table or pipeline.learner.table()
         report = PipelineReport(start=start, end=end)
         pipeline._bootstrap_baselines(start, report)  # noqa: SLF001
 
         by_time: dict[int, BucketSummary] = {}
-        for shard in self._map_shards(self._shards(start, end), table):
-            for summary in shard:
+        for summaries, snapshot in self._map_shards(self._shards(start, end), table):
+            metrics.merge_snapshot(snapshot)
+            for summary in summaries:
                 by_time[summary.time] = summary
 
         config = self.config
         window_results: list[BlameResult] = []
         for time in range(start, end):
             summary = by_time.get(time)
+            metrics.counter("pipeline.buckets").inc()
             if summary is not None:
                 report.total_quartets += summary.n_quartets
+                metrics.counter("pipeline.quartets").inc(summary.n_quartets)
                 for loc, mid, prefix in summary.new_targets:
                     if pipeline.background.register_target(loc, mid, prefix):
                         pipeline.background.seed_target(loc, mid, prefix, time)

@@ -167,3 +167,107 @@ class TestOnDemandProber:
         issues = self._issues(tracker_time=7)
         probed = prober.probe_window(8, issues)
         assert all(p.issue_first_seen == 7 for p in probed)
+
+
+class TestIssueTrackerGapParity:
+    """Displacement and sweep must close a run under the same strict
+    `> gap_buckets` condition (mirrors TestKeyedTrackerGapSemantics for
+    the middle-issue tracker)."""
+
+    def test_displacement_agrees_with_sweep(self):
+        """A middle blame recurring just past the gap starts a new issue
+        instead of extending a run the sweep would already have closed."""
+        tracker = IssueTracker(gap_buckets=1)
+        tracker.update(0, [_result(time=0)])
+        open_issues, closed = tracker.update(2, [_result(time=2)])
+        assert len(closed) == 1
+        assert closed[0].first_seen == 0
+        assert closed[0].last_seen == 0
+        assert len(open_issues) == 1
+        assert open_issues[0].first_seen == 2
+        assert open_issues[0].serial != closed[0].serial
+
+    def test_blame_at_gap_extends(self):
+        """Silence of exactly gap_buckets does not end the run."""
+        tracker = IssueTracker(gap_buckets=1)
+        tracker.update(0, [_result(time=0)])
+        open_issues, closed = tracker.update(1, [_result(time=1)])
+        assert closed == []
+        assert open_issues[0].first_seen == 0
+        assert open_issues[0].duration == 2
+
+    def test_displacement_duration_matches_swept_duration(self):
+        """The same quiet spell yields the same issue duration whether
+        the close came from a sweep or a displacing blame."""
+        swept = IssueTracker(gap_buckets=1)
+        swept.update(0, [_result(time=0)])
+        _, swept_closed = swept.update(2, [])
+        displaced = IssueTracker(gap_buckets=1)
+        displaced.update(0, [_result(time=0)])
+        _, displaced_closed = displaced.update(2, [_result(time=2)])
+        assert [i.duration for i in swept_closed] == [
+            i.duration for i in displaced_closed
+        ]
+
+
+class TestProbeBudgetWindows:
+    def test_denied_resets_per_window(self):
+        budget = ProbeBudget(per_location_per_window=1)
+        budget.start_window()
+        assert budget.try_consume("edge-A")
+        assert not budget.try_consume("edge-A")
+        assert not budget.try_consume("edge-A")
+        assert budget.denied == 2
+        budget.start_window()
+        assert budget.denied == 0
+        assert budget.try_consume("edge-A")
+        assert not budget.try_consume("edge-A")
+        assert budget.denied == 1
+        assert budget.denied_total == 3
+
+
+class TestPriorityCaching:
+    def test_priority_computed_once_per_candidate(self, monkeypatch):
+        prober = _prober()
+        issues = TestOnDemandProber()._issues(n=3)
+        calls = []
+        original = OnDemandProber.priority
+
+        def counting(self, issue, now):
+            calls.append(issue.key)
+            return original(self, issue, now)
+
+        monkeypatch.setattr(OnDemandProber, "priority", counting)
+        probed = prober.probe_window(0, issues)
+        assert len(probed) == 3
+        assert len(calls) == 3  # once per candidate, not per probe
+
+    def test_reported_priority_matches_sort_priority(self):
+        prober = _prober()
+        issues = TestOnDemandProber()._issues(n=3)
+        for index, issue in enumerate(issues):
+            prober.client_predictor.observe(issue.key, 0, 10 ** (index + 1))
+        probed = prober.probe_window(0, issues)
+        for item in probed:
+            issue = next(i for i in issues if i.key == item.issue_key)
+            assert item.priority == pytest.approx(prober.priority(issue, 0))
+
+    def test_probe_window_records_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        engine = TracerouteEngine(
+            _FlatOracle(), np.random.default_rng(0), hop_noise_ms=0.0
+        )
+        metrics = MetricsRegistry()
+        prober = OnDemandProber(
+            engine=engine,
+            duration_predictor=DurationPredictor(),
+            client_predictor=ClientCountPredictor(),
+            budget=ProbeBudget(1),
+            metrics=metrics,
+        )
+        issues = TestOnDemandProber()._issues(n=3)  # all share edge-A
+        prober.probe_window(0, issues)
+        counters = metrics.snapshot()["counters"]
+        assert counters["probe.on_demand.issued"] == 1
+        assert counters["probe.on_demand.denied"] == 2

@@ -81,3 +81,29 @@ class TestPersistence:
         assert report.exists()
         out = capsys.readouterr().out
         assert "report written" in out
+
+
+class TestMetricsJson:
+    def test_diagnose_writes_valid_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import PHASE_SPANS, validate_snapshot
+
+        out_file = tmp_path / "metrics.json"
+        code = main(
+            ["diagnose", *FAST, "--start", "150", "--end", "200",
+             "--metrics-json", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase seconds:" in out
+        assert "metrics snapshot written" in out
+        snapshot = json.loads(out_file.read_text(encoding="utf-8"))
+        validate_snapshot(snapshot, require_spans=PHASE_SPANS)
+        assert snapshot["counters"]["pipeline.buckets"] == 50
+        assert snapshot["counters"]["pipeline.quartets"] > 0
+
+    def test_diagnose_without_flag_records_nothing(self, capsys):
+        code = main(["diagnose", *FAST, "--start", "150", "--end", "160"])
+        assert code == 0
+        assert "phase seconds" not in capsys.readouterr().out

@@ -228,3 +228,117 @@ class TestKeyedTrackerGapSemantics:
         # Both runs ended: 65001 displaced, 65002 swept.
         assert {issue.key for issue in closed} == {65001, 65002}
 
+
+
+class TestKeyedTrackerVoteAccounting:
+    """The end-of-bucket sweep must run before the bucket's co-located
+    vote totals are credited."""
+
+    CLOUD_ASN = 8075
+
+    def _quartet(self, time=0):
+        return Quartet(
+            time=time,
+            prefix24=7,
+            location_id="edge-A",
+            mobile=False,
+            mean_rtt_ms=90.0,
+            n_samples=20,
+            users=10,
+            client_asn=65001,
+            middle=(10,),
+            region=Region.USA,
+        )
+
+    def test_swept_issue_confidence_undiluted(self):
+        """A key recurring past the gap under a different blame category
+        contributes votes_total — but not to the already-over run."""
+        tracker = _KeyedIssueTracker(Blame.CLIENT, gap_buckets=1)
+        tracker.update(
+            0,
+            [BlameResult(self._quartet(time=0), Blame.CLIENT, 0.1, 0.1)],
+            self.CLOUD_ASN,
+        )
+        ambiguous = BlameResult(self._quartet(time=3), Blame.AMBIGUOUS, 0.1, 0.1)
+        closed = tracker.update(3, [ambiguous], self.CLOUD_ASN)
+        assert len(closed) == 1
+        assert closed[0].votes_for == 1
+        assert closed[0].votes_total == 1
+        assert closed[0].confidence == 1.0
+
+    def test_displaced_run_credits_new_issue(self):
+        """Displacement still credits the current bucket's votes to the
+        *new* run it opens."""
+        tracker = _KeyedIssueTracker(Blame.CLIENT, gap_buckets=1)
+        tracker.update(
+            0,
+            [BlameResult(self._quartet(time=0), Blame.CLIENT, 0.1, 0.1)],
+            self.CLOUD_ASN,
+        )
+        closed = tracker.update(
+            3,
+            [BlameResult(self._quartet(time=3), Blame.CLIENT, 0.1, 0.1)],
+            self.CLOUD_ASN,
+        )
+        assert len(closed) == 1
+        assert closed[0].votes_total == 1  # only its own bucket's votes
+        (issue,) = tracker.open.values()
+        assert issue.votes_for == 1
+        assert issue.votes_total == 1
+
+
+class TestLocalizeBaselineDedup:
+    """`_localize` must not compare the same baseline twice when only a
+    single candidate exists."""
+
+    def _probe_setup(self, small_scenario):
+        from repro.core.active import ProbedIssue
+
+        pipeline = BlameItPipeline(small_scenario, config=_fast_config())
+        world = small_scenario.world
+        asn = world.population.asns[0]
+        client = world.population.in_as(asn)[0]
+        prefix = client.prefix24
+        location = world.assignments[prefix].primary.location_id
+        current = pipeline.engine.issue(location, prefix, 10)
+        assert current is not None
+        probe = ProbedIssue(
+            issue_key=(location, middle_asns(current.path)),
+            prefix24=prefix,
+            time=10,
+            result=current,
+            priority=1.0,
+            issue_first_seen=5,
+        )
+        return pipeline, location, prefix, probe
+
+    def _count_comparisons(self, pipeline, probe, monkeypatch):
+        import repro.core.pipeline as pipeline_mod
+
+        calls = []
+        real = pipeline_mod.localize_culprit
+
+        def counting(baseline, current):
+            calls.append(baseline.time)
+            return real(baseline, current)
+
+        monkeypatch.setattr(pipeline_mod, "localize_culprit", counting)
+        localized = pipeline._localize(probe)
+        return calls, localized
+
+    def test_single_baseline_compared_once(self, small_scenario, monkeypatch):
+        pipeline, location, prefix, probe = self._probe_setup(small_scenario)
+        baseline = pipeline.engine.issue(location, prefix, 0)
+        pipeline.baselines.put(baseline)
+        calls, localized = self._count_comparisons(pipeline, probe, monkeypatch)
+        assert calls == [0]
+        assert localized.verdict is not None
+
+    def test_two_baselines_compared_newest_and_oldest(
+        self, small_scenario, monkeypatch
+    ):
+        pipeline, location, prefix, probe = self._probe_setup(small_scenario)
+        for time in (0, 2):
+            pipeline.baselines.put(pipeline.engine.issue(location, prefix, time))
+        calls, _ = self._count_comparisons(pipeline, probe, monkeypatch)
+        assert calls == [2, 0]  # newest first, then the oldest
