@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the pipeline infrastructure.
+
+``repro.sim.faults`` breaks the simulated *network* (the faults BlameIt
+is built to localize); this package breaks the *pipeline itself* —
+workers, probes, telemetry, baselines — so the hardening around it can
+be exercised and regression-tested. See DESIGN.md §5 for the failure
+model and the determinism guarantee (same seed ⇒ same injected faults ⇒
+same report).
+"""
+
+from repro.chaos.inject import (
+    inject_batch,
+    inject_quartets,
+    sanitize_batch,
+    sanitize_quartets,
+)
+from repro.chaos.plan import ChaosWorkerCrash, FaultPlan, uniform, uniforms
+
+__all__ = [
+    "ChaosWorkerCrash",
+    "FaultPlan",
+    "inject_batch",
+    "inject_quartets",
+    "sanitize_batch",
+    "sanitize_quartets",
+    "uniform",
+    "uniforms",
+]

@@ -14,6 +14,7 @@ stable across runs and machines.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.analysis.characterize import (
@@ -36,6 +37,32 @@ def _region(value: str) -> Region:
         if region.value.lower() == value.lower() or region.name.lower() == value.lower():
             return region
     raise argparse.ArgumentTypeError(f"unknown region {value!r}")
+
+
+def _fail(message: str) -> int:
+    """Print a one-line error to stderr; exit code 2 (usage error)."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _params_error(args) -> str | None:
+    """Validate the world-shape arguments every command shares."""
+    if args.days < 1:
+        return f"--days must be >= 1, got {args.days}"
+    if args.locations < 1:
+        return f"--locations must be >= 1, got {args.locations}"
+    return None
+
+
+def _window_error(start: int, end: int, horizon: int) -> str | None:
+    """Validate a [start, end) bucket range against a scenario horizon."""
+    if start < 0:
+        return f"--start must be >= 0, got {start}"
+    if end <= start:
+        return f"--end must be > --start, got start={start} end={end}"
+    if end > horizon:
+        return f"--end {end} is beyond the scenario horizon ({horizon} buckets)"
+    return None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
         "run's metrics snapshot (counters, gauges, per-phase spans) as "
         "JSON",
     )
+    p_diag.add_argument(
+        "--chaos",
+        type=int,
+        metavar="SEED",
+        default=None,
+        help="inject deterministic infrastructure faults (the repro.chaos "
+        "smoke plan: quartet loss/corruption, probe timeouts, missing and "
+        "stale baselines) seeded by SEED; same seed, same faults",
+    )
 
     p_val = sub.add_parser(
         "validate", help="generate labelled incidents and score localization"
@@ -119,6 +155,8 @@ def _build_params(args) -> ScenarioParams:
 
 
 def _cmd_simulate(args) -> int:
+    if (message := _params_error(args)) is not None:
+        return _fail(message)
     scenario = Scenario.build(_build_params(args))
     if getattr(args, "save", None):
         from repro.io import save_scenario
@@ -151,8 +189,12 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_characterize(args) -> int:
+    if (message := _params_error(args)) is not None:
+        return _fail(message)
     scenario = Scenario.build(_build_params(args))
     end = args.end if args.end is not None else scenario.horizon_buckets
+    if (message := _window_error(args.start, end, scenario.horizon_buckets)):
+        return _fail(message)
     buffered = [(t, scenario.generate_quartets(t)) for t in range(args.start, end)]
     fractions = bad_fraction_by_region(
         (q for _, q in buffered), scenario.world.targets
@@ -186,13 +228,22 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_diagnose(args) -> int:
+    if (message := _params_error(args)) is not None:
+        return _fail(message)
+    if args.budget < 0:
+        return _fail(f"--budget must be >= 0, got {args.budget}")
     if getattr(args, "scenario", None):
         from repro.io import load_scenario
 
-        scenario = load_scenario(args.scenario)
+        try:
+            scenario = load_scenario(args.scenario)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail(f"cannot load scenario {args.scenario!r}: {exc}")
     else:
         scenario = Scenario.build(_build_params(args))
     end = args.end if args.end is not None else scenario.horizon_buckets
+    if (message := _window_error(args.start, end, scenario.horizon_buckets)):
+        return _fail(message)
     config = BlameItConfig(
         history_days=1,
         probe_budget_per_window=args.budget,
@@ -203,7 +254,13 @@ def _cmd_diagnose(args) -> int:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
-    pipeline = BlameItPipeline(scenario, config=config, metrics=metrics)
+    chaos = None
+    if getattr(args, "chaos", None) is not None:
+        from repro.chaos import FaultPlan
+
+        chaos = FaultPlan.smoke(args.chaos)
+        print(f"chaos: smoke fault plan enabled (seed {args.chaos})")
+    pipeline = BlameItPipeline(scenario, config=config, metrics=metrics, chaos=chaos)
     warmup_end = min(args.start, 288)
     pipeline.warmup(0, warmup_end, stride=3)
     report = pipeline.run(args.start, end)
@@ -269,6 +326,10 @@ def _cmd_diagnose(args) -> int:
 def _cmd_validate(args) -> int:
     import numpy as np
 
+    if (message := _params_error(args)) is not None:
+        return _fail(message)
+    if args.incidents < 1:
+        return _fail(f"--incidents must be >= 1, got {args.incidents}")
     world = build_world(_build_params(args))
     state = build_warmup_state(world, days=1, stride=2)
     specs = generate_incidents(

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.chaos import FaultPlan
 from repro.cloud.traceroute import TracerouteEngine, TracerouteResult
 from repro.core.blame import Blame, BlameResult
 from repro.core.prediction import ClientCountPredictor, DurationPredictor
@@ -218,12 +219,14 @@ class OnDemandProber:
         client_predictor: ClientCountPredictor,
         budget: ProbeBudget,
         metrics: MetricsRegistry | None = None,
+        chaos: FaultPlan | None = None,
     ) -> None:
         self.engine = engine
         self.duration_predictor = duration_predictor
         self.client_predictor = client_predictor
         self.budget = budget
         self.metrics = metrics or NULL_REGISTRY
+        self.chaos = chaos
         self.probes_issued = 0
 
     def priority(self, issue: MiddleIssue, now: Timestamp) -> float:
@@ -261,9 +264,7 @@ class OnDemandProber:
             if not self.budget.try_consume(issue.location_id):
                 continue
             prefix = issue.representative_prefix()
-            result = self.engine.issue(issue.location_id, prefix, now)
-            self.probes_issued += 1
-            self.metrics.counter("probe.on_demand.issued").inc()
+            result = self._issue(issue.location_id, prefix, now)
             issue.probed = True
             probed.append(
                 ProbedIssue(
@@ -277,3 +278,42 @@ class OnDemandProber:
             )
         self.metrics.counter("probe.on_demand.denied").inc(self.budget.denied)
         return probed
+
+    def _issue(
+        self, location_id: str, prefix: Prefix24, now: Timestamp
+    ) -> TracerouteResult | None:
+        """One on-demand traceroute, with chaos timeouts and bounded,
+        budget-honoring retries.
+
+        Without a fault plan this is exactly one ``engine.issue`` call.
+        Under chaos, a timed-out attempt's measurement is discarded and
+        re-tried up to ``probe_retry_attempts`` times; every retry must
+        win a fresh :meth:`ProbeBudget.try_consume` slot (the caller
+        consumed the first attempt's), so retries never exceed the §5.3
+        per-location allowance. Backoff between attempts is
+        instantaneous in simulated bucket time; each attempt re-rolls
+        its fate independently. A legitimately failed traceroute (e.g. a
+        withdrawn route returning None) is *not* retried — only injected
+        timeouts are.
+        """
+        chaos = self.chaos
+        attempt = 0
+        while True:
+            result = self.engine.issue(location_id, prefix, now)
+            self.probes_issued += 1
+            self.metrics.counter("probe.on_demand.issued").inc()
+            if chaos is None or not chaos.probe_times_out(
+                "probe.timeout.on_demand", location_id, prefix, now, attempt
+            ):
+                if attempt:
+                    self.metrics.counter("retry.probe.recovered").inc()
+                return result
+            self.metrics.counter("chaos.probe.timeout").inc()
+            if attempt >= chaos.probe_retry_attempts:
+                self.metrics.counter("retry.probe.abandoned").inc()
+                return None
+            if not self.budget.try_consume(location_id):
+                self.metrics.counter("retry.probe.denied").inc()
+                return None
+            attempt += 1
+            self.metrics.counter("retry.probe.attempts").inc()

@@ -20,6 +20,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+from repro.chaos import FaultPlan
 from repro.cloud.traceroute import TracerouteEngine, TracerouteResult
 from repro.net.addressing import Prefix24
 from repro.net.asn import ASPath, middle_asns
@@ -177,6 +178,7 @@ class BackgroundProber:
     probes_periodic: int = 0
     probes_churn: int = 0
     metrics: MetricsRegistry | None = None
+    chaos: FaultPlan | None = None
     _targets: dict[TargetKey, Prefix24] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -188,8 +190,16 @@ class BackgroundProber:
     def _probe(
         self, location_id: str, prefix24: Prefix24, time: Timestamp
     ) -> TracerouteResult | None:
-        """One background measurement: forward, plus reverse if enabled."""
-        result = self.engine.issue(location_id, prefix24, time)
+        """One background measurement: forward, plus reverse if enabled.
+
+        Under a fault plan the forward measurement can be lost in
+        flight; a lost probe is re-tried up to ``probe_retry_attempts``
+        times (background probes have no per-window budget — their cost
+        ceiling is the schedule itself). An abandoned measurement simply
+        leaves the existing baseline in place, exactly like a withdrawn
+        route does.
+        """
+        result = self._issue_forward(location_id, prefix24, time)
         if result is not None:
             self.store.put(result)
         if self.reverse_store is not None:
@@ -197,6 +207,28 @@ class BackgroundProber:
             if reverse is not None:
                 self.reverse_store.put(reverse)
         return result
+
+    def _issue_forward(
+        self, location_id: str, prefix24: Prefix24, time: Timestamp
+    ) -> TracerouteResult | None:
+        chaos = self.chaos
+        if chaos is None or chaos.probe_timeout_rate <= 0:
+            return self.engine.issue(location_id, prefix24, time)
+        attempt = 0
+        while True:
+            result = self.engine.issue(location_id, prefix24, time)
+            if not chaos.probe_times_out(
+                "probe.timeout.background", location_id, prefix24, time, attempt
+            ):
+                if attempt:
+                    self.metrics.counter("retry.probe.background.recovered").inc()
+                return result
+            self.metrics.counter("chaos.probe.loss").inc()
+            if attempt >= chaos.probe_retry_attempts:
+                self.metrics.counter("retry.probe.background.abandoned").inc()
+                return None
+            attempt += 1
+            self.metrics.counter("retry.probe.background.attempts").inc()
 
     # -- target registry -------------------------------------------------
 

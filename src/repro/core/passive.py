@@ -45,6 +45,12 @@ def _nan_if_none(value: float | None) -> float:
     return float("nan") if value is None else value
 
 
+#: Stand-in when no expected-RTT table is available (degraded mode): every
+#: lookup misses, so Algorithm 1 yields Insufficient for every bad quartet
+#: instead of crashing on the absent table.
+_EMPTY_TABLE = ExpectedRTTTable()
+
+
 @dataclass
 class _AggregateStats:
     """Counts for one aggregate (a cloud location or a BGP path)."""
@@ -74,6 +80,13 @@ class PassiveLocalizer:
         self.targets = targets
         self.metrics = metrics or NULL_REGISTRY
 
+    def _effective_table(self, table: ExpectedRTTTable | None) -> ExpectedRTTTable:
+        """Harden against a missing table: degrade instead of raising."""
+        if table is None:
+            self.metrics.counter("passive.degraded_no_table").inc()
+            return _EMPTY_TABLE
+        return table
+
     def _count_results(self, gated_out: int, results: list[BlameResult]) -> None:
         """Record the sample gate and the blame mix for one bucket."""
         metrics = self.metrics
@@ -85,14 +98,15 @@ class PassiveLocalizer:
     # -- public API -----------------------------------------------------
 
     def assign(
-        self, quartets: list[Quartet], table: ExpectedRTTTable
+        self, quartets: list[Quartet], table: ExpectedRTTTable | None
     ) -> list[BlameResult]:
         """Blame every bad quartet in a single 5-minute bucket.
 
         Args:
             quartets: All quartets of the bucket (good and bad); aggregate
                 statistics need the good ones too.
-            table: Learned expected RTTs.
+            table: Learned expected RTTs; None (a missing learning-job
+                output) degrades every blame to Insufficient.
 
         Returns:
             One :class:`BlameResult` per bad quartet (quartets passing the
@@ -100,6 +114,7 @@ class PassiveLocalizer:
         """
         if self.config.vectorized_passive:
             return self.assign_batch(QuartetBatch.from_quartets(quartets), table)
+        table = self._effective_table(table)
         with self.metrics.span("passive.scalar"):
             gated = [
                 q for q in quartets if q.n_samples >= self.config.min_quartet_samples
@@ -118,7 +133,7 @@ class PassiveLocalizer:
         return results
 
     def assign_window(
-        self, quartets: list[Quartet], table: ExpectedRTTTable
+        self, quartets: list[Quartet], table: ExpectedRTTTable | None
     ) -> list[BlameResult]:
         """Blame bad quartets across a multi-bucket window.
 
@@ -135,7 +150,7 @@ class PassiveLocalizer:
         return results
 
     def assign_batch(
-        self, batch: QuartetBatch, table: ExpectedRTTTable
+        self, batch: QuartetBatch, table: ExpectedRTTTable | None
     ) -> list[BlameResult]:
         """Vectorized Algorithm 1 over a columnar batch of one bucket.
 
@@ -146,6 +161,7 @@ class PassiveLocalizer:
         blames, same fractions) to the scalar reference on the same
         quartets — asserted by the property tests.
         """
+        table = self._effective_table(table)
         with self.metrics.span("passive.vectorized"):
             gated_out, results = self._assign_batch(batch, table)
         self._count_results(gated_out, results)

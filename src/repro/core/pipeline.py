@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.chaos import FaultPlan, inject_quartets, sanitize_quartets
 from repro.cloud.traceroute import TracerouteEngine
 from repro.core.active import (
     IssueTracker,
@@ -248,6 +249,7 @@ class BlameItPipeline:
         seed: int = 1234,
         rng_per_bucket: bool = False,
         metrics: MetricsRegistry | None = None,
+        chaos: FaultPlan | None = None,
     ) -> None:
         """
         Args:
@@ -273,10 +275,15 @@ class BlameItPipeline:
                 (see :mod:`repro.obs`); the default NullRegistry records
                 nothing at ~zero cost, and the run's report then carries
                 ``metrics=None``.
+            chaos: Deterministic fault plan (see :mod:`repro.chaos`).
+                None — or a plan with every rate at zero — leaves every
+                code path an exact no-op, byte-identical to a run
+                without the parameter.
         """
         self.scenario = scenario
         self.config = config or BlameItConfig()
         self.metrics = metrics or NULL_REGISTRY
+        self.chaos = chaos if chaos is not None and chaos.enabled else None
         self.fixed_table = fixed_table
         self.learner = learner or ExpectedRTTLearner(self.config.history_days)
         self.passive = PassiveLocalizer(
@@ -294,6 +301,7 @@ class BlameItPipeline:
             churn_triggered=self.config.churn_triggered_probes,
             reverse_store=self.reverse_baselines,
             metrics=self.metrics,
+            chaos=self.chaos,
         )
         self.duration_predictor = duration_predictor or DurationPredictor()
         self.client_predictor = ClientCountPredictor(self.config.client_history_days)
@@ -304,6 +312,7 @@ class BlameItPipeline:
             client_predictor=self.client_predictor,
             budget=ProbeBudget(self.config.probe_budget_per_window),
             metrics=self.metrics,
+            chaos=self.chaos,
         )
         self.cloud_tracker = _KeyedIssueTracker(Blame.CLOUD)
         self.client_tracker = _KeyedIssueTracker(Blame.CLIENT)
@@ -361,17 +370,18 @@ class BlameItPipeline:
         metrics = self.metrics
         self._bootstrap_baselines(start, report)
         window: list[Quartet] = []
-        table = self.fixed_table or self.learner.table()
+        table, table_dropped = self._starting_table()
         table_day = start // BUCKETS_PER_DAY
         for time in range(start, end):
             day = time // BUCKETS_PER_DAY
-            if self.fixed_table is None and day != table_day:
+            if self.fixed_table is None and not table_dropped and day != table_day:
                 table = self.learner.table(as_of_day=day)
                 table_day = day
             with metrics.span("phase.generation"):
                 quartets = self.scenario.generate_quartets(
                     time, rng=self.bucket_rng(time)
                 )
+            quartets = self._ingest(quartets)
             report.total_quartets += len(quartets)
             metrics.counter("pipeline.buckets").inc()
             metrics.counter("pipeline.quartets").inc(len(quartets))
@@ -400,17 +410,49 @@ class BlameItPipeline:
 
     # -- internals -----------------------------------------------------------
 
+    def _starting_table(self) -> tuple[ExpectedRTTTable, bool]:
+        """The run's expected-RTT table, plus whether chaos withheld it.
+
+        A withheld table models a bootstrap where the learning job's
+        output is unavailable: Algorithm 1 then runs against an empty
+        table and degrades to Insufficient blames (no aggregate has a
+        known expected RTT) instead of crashing. The per-day refresh is
+        disabled too — the table stays gone for the whole run.
+        """
+        if self.chaos is not None and self.chaos.drop_expected_table:
+            self.metrics.counter("chaos.baseline.table_dropped").inc()
+            return ExpectedRTTTable(), True
+        return self.fixed_table or self.learner.table(), False
+
+    def _ingest(self, quartets: list[Quartet]) -> list[Quartet]:
+        """Chaos injection (if planned) then always-on sanitization."""
+        if self.chaos is not None:
+            quartets = inject_quartets(self.chaos, quartets, self.metrics)
+        return sanitize_quartets(quartets, self.metrics)
+
     def _bootstrap_baselines(self, start: Timestamp, report: PipelineReport) -> None:
         before = self.engine.probes_issued
+        chaos = self.chaos
         for (location_id, middle), prefix in sorted(
             self.background._targets.items()  # noqa: SLF001 - same package
         ):
-            result = self.engine.issue(location_id, prefix, max(0, start - 1))
+            probe_time = max(0, start - 1)
+            if chaos is not None:
+                fate = chaos.baseline_fate(location_id, prefix)
+                if fate == "missing":
+                    self.metrics.counter("chaos.baseline.missing").inc()
+                    continue
+                if fate == "stale":
+                    self.metrics.counter("chaos.baseline.stale").inc()
+                    probe_time = max(
+                        0, probe_time - chaos.baseline_stale_age_buckets
+                    )
+            result = self.engine.issue(location_id, prefix, probe_time)
             if result is not None:
                 self.baselines.put(result)
             if self.reverse_baselines is not None:
                 reverse = self.engine.issue_reverse(
-                    location_id, prefix, max(0, start - 1)
+                    location_id, prefix, probe_time
                 )
                 if reverse is not None:
                     self.reverse_baselines.put(reverse)

@@ -25,10 +25,12 @@ learner, as the month-scale benches do).
 from __future__ import annotations
 
 import multiprocessing
+import time as time_mod
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.chaos import ChaosWorkerCrash, FaultPlan, inject_batch, sanitize_batch
 from repro.core.blame import BlameResult
 from repro.core.config import BlameItConfig
 from repro.core.passive import PassiveLocalizer
@@ -105,15 +107,17 @@ class _ShardRunner:
         table: ExpectedRTTTable,
         seed: int,
         metrics_enabled: bool = False,
+        chaos: FaultPlan | None = None,
     ) -> None:
         self.generator = BatchQuartetGenerator(scenario)
         self.metrics_enabled = metrics_enabled
         self.localizer = PassiveLocalizer(config, scenario.world.targets)
         self.table = table
         self.seed = seed
+        self.chaos = chaos if chaos is not None and chaos.enabled else None
 
     def run_shard(
-        self, bounds: tuple[int, int]
+        self, bounds: tuple[int, int], attempt: int = 0
     ) -> tuple[list[BucketSummary], Snapshot | None]:
         """Process one shard; returns its summaries plus, when
         observability is on, the shard's metrics snapshot for the parent
@@ -122,16 +126,34 @@ class _ShardRunner:
         The registry is fresh per shard (a runner serves many shards and
         each snapshot is merged once, so carrying counts across shards
         would double-count them).
+
+        ``attempt`` is the execution attempt for this shard (0 on first
+        dispatch, 1+ for the parent's inline retries); the fault plan's
+        crash decision is keyed on it, so a shard that crashed on attempt
+        0 can deterministically succeed on attempt 1.
         """
+        start, end = bounds
+        chaos = self.chaos
+        if chaos is not None and chaos.shard_crashes(start, end, attempt):
+            raise ChaosWorkerCrash(
+                f"injected crash in shard [{start}, {end}) attempt {attempt}"
+            )
         metrics = MetricsRegistry() if self.metrics_enabled else NULL_REGISTRY
         self.localizer.metrics = metrics
-        start, end = bounds
+        if chaos is not None:
+            delay_ms = chaos.shard_delay_ms(start, end)
+            if delay_ms > 0:
+                metrics.counter("chaos.shard.slow").inc()
+                time_mod.sleep(delay_ms / 1000.0)
         seen_targets: set[int] = set()
         summaries: list[BucketSummary] = []
         for time in range(start, end):
             rng = np.random.default_rng((self.seed, time))
             with metrics.span("phase.generation"):
                 batch = self.generator.generate(time, rng)
+            if chaos is not None:
+                batch = inject_batch(chaos, batch, metrics)
+            batch = sanitize_batch(batch, metrics)
             results = self.localizer.assign_batch(batch, self.table)
             summaries.append(
                 _summarize_bucket(time, batch, results, seen_targets)
@@ -148,9 +170,12 @@ def _init_worker(
     table: ExpectedRTTTable,
     seed: int,
     metrics_enabled: bool,
+    chaos: FaultPlan | None = None,
 ) -> None:
     global _WORKER_RUNNER
-    _WORKER_RUNNER = _ShardRunner(scenario, config, table, seed, metrics_enabled)
+    _WORKER_RUNNER = _ShardRunner(
+        scenario, config, table, seed, metrics_enabled, chaos
+    )
 
 
 def _run_shard(
@@ -183,7 +208,18 @@ class ShardedPipeline:
         metrics: Observability registry (see :mod:`repro.obs`). Workers
             record into their own registries (generation spans, passive
             counters) and the parent merges their snapshots at fold time,
-            so counter totals match the sequential pipeline's.
+            so counter totals match the sequential pipeline's. The parent
+            additionally keeps shard bookkeeping under ``shard.*`` /
+            ``retry.shard.*`` (dispatches, crashes, retries) that has no
+            sequential counterpart.
+        chaos: Deterministic fault plan (see :mod:`repro.chaos`), shipped
+            to every worker. Because fault decisions hash the thing's
+            identity rather than evaluation order, a chaotic sharded run
+            still matches the equally-chaotic sequential run wherever the
+            retries recover every shard.
+        shard_retry_attempts: Inline re-runs the parent grants each
+            failed shard before abandoning it (its buckets then simply
+            go missing from the fold, like production data loss).
     """
 
     def __init__(
@@ -198,6 +234,8 @@ class ShardedPipeline:
         alert_top_k: int = 10,
         seed: int = 1234,
         metrics: MetricsRegistry | None = None,
+        chaos: FaultPlan | None = None,
+        shard_retry_attempts: int = 1,
     ) -> None:
         self.config = config or BlameItConfig()
         self.metrics = metrics or NULL_REGISTRY
@@ -206,7 +244,10 @@ class ShardedPipeline:
         )
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if shard_retry_attempts < 0:
+            raise ValueError("shard_retry_attempts must be >= 0")
         self.buckets_per_shard = buckets_per_shard
+        self.shard_retry_attempts = shard_retry_attempts
         self.pipeline = BlameItPipeline(
             scenario,
             config=self.config,
@@ -217,7 +258,10 @@ class ShardedPipeline:
             seed=seed,
             rng_per_bucket=True,
             metrics=metrics,
+            chaos=chaos,
         )
+        # The pipeline normalizes disabled plans to None; share its view.
+        self.chaos = self.pipeline.chaos
         self.seed = seed
 
     # -- delegation ----------------------------------------------------
@@ -245,24 +289,91 @@ class ShardedPipeline:
     def _map_shards(
         self, shards: list[tuple[int, int]], table: ExpectedRTTTable
     ) -> list[tuple[list[BucketSummary], "Snapshot | None"]]:
-        enabled = self.metrics.enabled
-        if self.n_workers == 1 or len(shards) <= 1:
-            runner = _ShardRunner(
-                self.scenario, self.config, table, self.seed, enabled
+        """Run every shard, recovering failures at shard granularity.
+
+        Each shard is dispatched individually (``apply_async``, not a
+        single ``map``), so one worker failure costs exactly one shard:
+        the completed shards' results are kept and only the failed shard
+        is re-run inline in the parent, up to ``shard_retry_attempts``
+        times. A shard still failing after its retries is abandoned —
+        its buckets drop out of the fold and the pipeline carries on
+        degraded. Parent-side bookkeeping: ``shard.runs`` counts every
+        execution attempt; ``chaos.shard.crashed`` / ``shard.errors``
+        classify failures; ``retry.shard.*`` track the recovery arc.
+        """
+        metrics = self.metrics
+        enabled = metrics.enabled
+        outputs: list[tuple[list[BucketSummary], Snapshot | None] | None]
+        outputs = [None] * len(shards)
+        failed: list[int] = []
+        inline_runner: _ShardRunner | None = None
+
+        def runner() -> _ShardRunner:
+            nonlocal inline_runner
+            if inline_runner is None:
+                inline_runner = _ShardRunner(
+                    self.scenario, self.config, table, self.seed, enabled,
+                    self.chaos,
+                )
+            return inline_runner
+
+        def record_failure(exc: BaseException) -> None:
+            name = (
+                "chaos.shard.crashed"
+                if isinstance(exc, ChaosWorkerCrash)
+                else "shard.errors"
             )
-            return [runner.run_shard(bounds) for bounds in shards]
-        try:
-            with multiprocessing.Pool(
-                processes=min(self.n_workers, len(shards)),
-                initializer=_init_worker,
-                initargs=(self.scenario, self.config, table, self.seed, enabled),
-            ) as pool:
-                return pool.map(_run_shard, shards)
-        except (OSError, multiprocessing.ProcessError):
-            runner = _ShardRunner(
-                self.scenario, self.config, table, self.seed, enabled
-            )
-            return [runner.run_shard(bounds) for bounds in shards]
+            metrics.counter(name).inc()
+
+        pool = None
+        if self.n_workers > 1 and len(shards) > 1:
+            try:
+                pool = multiprocessing.Pool(
+                    processes=min(self.n_workers, len(shards)),
+                    initializer=_init_worker,
+                    initargs=(
+                        self.scenario, self.config, table, self.seed, enabled,
+                        self.chaos,
+                    ),
+                )
+            except (OSError, multiprocessing.ProcessError):
+                pool = None
+
+        if pool is not None:
+            with pool:
+                jobs = [
+                    pool.apply_async(_run_shard, (bounds,)) for bounds in shards
+                ]
+                for index, job in enumerate(jobs):
+                    metrics.counter("shard.runs").inc()
+                    try:
+                        outputs[index] = job.get()
+                    except Exception as exc:  # noqa: BLE001 - shard isolation
+                        record_failure(exc)
+                        failed.append(index)
+        else:
+            for index, bounds in enumerate(shards):
+                metrics.counter("shard.runs").inc()
+                try:
+                    outputs[index] = runner().run_shard(bounds)
+                except Exception as exc:  # noqa: BLE001 - shard isolation
+                    record_failure(exc)
+                    failed.append(index)
+
+        for index in failed:
+            for attempt in range(1, self.shard_retry_attempts + 1):
+                metrics.counter("shard.runs").inc()
+                metrics.counter("retry.shard.attempts").inc()
+                try:
+                    outputs[index] = runner().run_shard(shards[index], attempt)
+                except Exception as exc:  # noqa: BLE001 - shard isolation
+                    record_failure(exc)
+                else:
+                    metrics.counter("retry.shard.recovered").inc()
+                    break
+            else:
+                metrics.counter("retry.shard.abandoned").inc()
+        return [output for output in outputs if output is not None]
 
     # -- the run -------------------------------------------------------
 
@@ -275,7 +386,7 @@ class ShardedPipeline:
         """
         pipeline = self.pipeline
         metrics = self.metrics
-        table = pipeline.fixed_table or pipeline.learner.table()
+        table, _ = pipeline._starting_table()  # noqa: SLF001
         report = PipelineReport(start=start, end=end)
         pipeline._bootstrap_baselines(start, report)  # noqa: SLF001
 

@@ -83,6 +83,119 @@ class TestPersistence:
         assert "report written" in out
 
 
+class TestExitCodes:
+    """Invalid input exits with code 2 and a one-line error — never a
+    traceback (the driver scripts depend on the exit code)."""
+
+    def _check_usage_error(self, argv, capsys, fragment):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert fragment in err
+
+    def test_diagnose_rejects_reversed_range(self, capsys):
+        self._check_usage_error(
+            ["diagnose", *FAST, "--start", "200", "--end", "150"],
+            capsys, "--end must be > --start",
+        )
+
+    def test_diagnose_rejects_end_beyond_horizon(self, capsys):
+        self._check_usage_error(
+            ["diagnose", *FAST, "--start", "150", "--end", "100000"],
+            capsys, "beyond the scenario horizon",
+        )
+
+    def test_diagnose_rejects_negative_start(self, capsys):
+        self._check_usage_error(
+            ["diagnose", *FAST, "--start", "-5", "--end", "150"],
+            capsys, "--start must be >= 0",
+        )
+
+    def test_diagnose_rejects_negative_budget(self, capsys):
+        self._check_usage_error(
+            ["diagnose", *FAST, "--start", "150", "--end", "160",
+             "--budget", "-1"],
+            capsys, "--budget must be >= 0",
+        )
+
+    def test_diagnose_rejects_missing_scenario_file(self, capsys, tmp_path):
+        self._check_usage_error(
+            ["diagnose", *FAST, "--scenario", str(tmp_path / "nope.json"),
+             "--start", "150", "--end", "160"],
+            capsys, "cannot load scenario",
+        )
+
+    def test_characterize_rejects_bad_range(self, capsys):
+        self._check_usage_error(
+            ["characterize", *FAST, "--start", "220", "--end", "150"],
+            capsys, "--end must be > --start",
+        )
+
+    def test_validate_rejects_zero_incidents(self, capsys):
+        self._check_usage_error(
+            ["validate", *FAST, "--incidents", "0"],
+            capsys, "--incidents must be >= 1",
+        )
+
+    def test_simulate_rejects_nonpositive_days(self, capsys):
+        self._check_usage_error(
+            ["simulate", "--seed", "3", "--regions", "USA", "--days", "0",
+             "--locations", "1"],
+            capsys, "--days must be >= 1",
+        )
+
+    def test_simulate_rejects_nonpositive_locations(self, capsys):
+        self._check_usage_error(
+            ["simulate", "--seed", "3", "--regions", "USA", "--days", "1",
+             "--locations", "0"],
+            capsys, "--locations must be >= 1",
+        )
+
+    def test_unknown_region_exits_with_usage_code(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--regions", "Atlantis"])
+        assert excinfo.value.code == 2
+
+
+class TestChaosFlag:
+    def test_diagnose_with_chaos_completes_and_counts_faults(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs import PHASE_SPANS, validate_snapshot
+
+        out_file = tmp_path / "metrics.json"
+        code = main(
+            ["diagnose", *FAST, "--start", "150", "--end", "200",
+             "--chaos", "1", "--metrics-json", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos: smoke fault plan enabled (seed 1)" in out
+        assert "blame mix" in out
+        snapshot = json.loads(out_file.read_text(encoding="utf-8"))
+        validate_snapshot(snapshot, require_spans=PHASE_SPANS)
+        counters = snapshot["counters"]
+        assert any(name.startswith("chaos.") for name in counters)
+        assert counters["pipeline.buckets"] == 50
+
+    def test_chaos_is_deterministic_per_seed(self, tmp_path):
+        import json
+
+        snapshots = []
+        for run in range(2):
+            out_file = tmp_path / f"metrics-{run}.json"
+            assert main(
+                ["diagnose", *FAST, "--start", "150", "--end", "170",
+                 "--chaos", "7", "--metrics-json", str(out_file)]
+            ) == 0
+            snapshots.append(
+                json.loads(out_file.read_text(encoding="utf-8"))["counters"]
+            )
+        assert snapshots[0] == snapshots[1]
+
+
 class TestMetricsJson:
     def test_diagnose_writes_valid_snapshot(self, tmp_path, capsys):
         import json

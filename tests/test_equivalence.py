@@ -1,0 +1,165 @@
+"""Seeded randomized equivalence harness.
+
+Three byte-identity properties, each over seeded randomness so failures
+reproduce exactly:
+
+1. the vectorized passive phase equals the scalar reference over ~50
+   random buckets;
+2. a sharded run equals the sequential pipeline, report-for-report;
+3. both still hold under deterministic chaos — injected worker crashes
+   (recovered by the per-shard retry) and injected quartet faults — and
+   a single genuine worker failure costs exactly one shard re-run, not
+   the whole range.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import FaultPlan
+from repro.core.config import BlameItConfig
+from repro.core.passive import PassiveLocalizer
+from repro.core.pipeline import BlameItPipeline
+from repro.core.thresholds import ExpectedRTTLearner
+from repro.io import report_to_dict
+from repro.obs import MetricsRegistry, validate_snapshot
+from repro.perf.sharded import ShardedPipeline, _ShardRunner
+from repro.sim.scenario import Scenario
+
+from tests.test_perf import _random_quartets, _random_table, _targets
+
+
+def report_json(report, *, with_metrics: bool = False) -> str:
+    """Canonical JSON digest of a report (metrics stripped by default —
+    shard bookkeeping and chaos counters legitimately differ between
+    drivers while the *results* must not)."""
+    digest = report_to_dict(report)
+    if not with_metrics:
+        digest.pop("metrics", None)
+    return json.dumps(digest, sort_keys=True)
+
+
+class TestVectorizedPassiveEquivalence:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_assign_batch_matches_scalar(self, seed):
+        """50-seed property sweep: identical results (order, blames,
+        fractions) between the scalar and vectorized Algorithm 1."""
+        rng = np.random.default_rng(seed)
+        quartets = _random_quartets(rng, 300)
+        table = _random_table(rng)
+        scalar = PassiveLocalizer(BlameItConfig(), _targets())
+        vector = PassiveLocalizer(
+            BlameItConfig(vectorized_passive=True), _targets()
+        )
+        assert vector.assign(quartets, table) == scalar.assign(quartets, table)
+
+
+class TestShardedEquivalence:
+    @pytest.fixture(scope="class")
+    def trained(self, small_world):
+        scenario = Scenario.from_world(small_world)
+        learner = ExpectedRTTLearner(history_days=1)
+        trainer = BlameItPipeline(
+            scenario, config=self._config(), learner=learner
+        )
+        trainer.warmup(0, 96, stride=4)
+        return scenario, learner.table()
+
+    @staticmethod
+    def _config(**overrides) -> BlameItConfig:
+        return BlameItConfig(
+            history_days=1, background_interval_buckets=36, **overrides
+        )
+
+    def _sequential(self, trained, chaos=None):
+        scenario, table = trained
+        return BlameItPipeline(
+            scenario,
+            config=self._config(),
+            fixed_table=table,
+            seed=11,
+            rng_per_bucket=True,
+            chaos=chaos,
+        ).run(100, 160)
+
+    def _sharded(self, trained, chaos=None, metrics=None, retries=1):
+        scenario, table = trained
+        return ShardedPipeline(
+            scenario,
+            config=self._config(vectorized_passive=True),
+            fixed_table=table,
+            seed=11,
+            n_workers=1,
+            buckets_per_shard=13,
+            metrics=metrics,
+            chaos=chaos,
+            shard_retry_attempts=retries,
+        ).run(100, 160)
+
+    def test_clean_runs_byte_identical(self, trained):
+        assert report_json(
+            self._sharded(trained), with_metrics=True
+        ) == report_json(self._sequential(trained), with_metrics=True)
+
+    def test_crash_plus_retry_byte_identical(self, trained):
+        """Every shard's worker crashes once; the per-shard retry recovers
+        each, and the report still matches the sequential run exactly."""
+        plan = FaultPlan(seed=5, shard_crash_rate=1.0, shard_crash_max=1)
+        metrics = MetricsRegistry()
+        got = self._sharded(trained, chaos=plan, metrics=metrics)
+        expected = self._sequential(trained, chaos=plan)
+        assert report_json(got) == report_json(expected)
+        counters = got.metrics["counters"]
+        n_shards = 5  # ceil(60 / 13)
+        # Each crashed shard was re-executed exactly once per retry attempt.
+        assert counters["chaos.shard.crashed"] == n_shards
+        assert counters["retry.shard.attempts"] == n_shards
+        assert counters["retry.shard.recovered"] == n_shards
+        assert counters["shard.runs"] == 2 * n_shards
+        assert "retry.shard.abandoned" not in counters
+        validate_snapshot(got.metrics)
+
+    def test_quartet_chaos_byte_identical(self, trained):
+        """Dropped/duplicated/corrupted quartets are keyed on quartet
+        identity, so sequential and sharded runs inject the same faults
+        and produce identical degraded reports."""
+        plan = FaultPlan(
+            seed=7,
+            quartet_drop_rate=0.05,
+            quartet_duplicate_rate=0.05,
+            quartet_corrupt_rate=0.05,
+        )
+        got = self._sharded(trained, chaos=plan)
+        expected = self._sequential(trained, chaos=plan)
+        assert report_json(got) == report_json(expected)
+        # The faults actually fired: the degraded run differs from clean.
+        assert report_json(expected) != report_json(self._sequential(trained))
+
+    def test_single_failure_costs_exactly_one_shard(self, trained, monkeypatch):
+        """Regression for the old all-or-nothing fallback: one worker
+        failure must re-run only the failed shard, keeping every
+        completed shard's results."""
+        calls: list[tuple[tuple[int, int], int]] = []
+        original = _ShardRunner.run_shard
+
+        def flaky(self, bounds, attempt=0):
+            calls.append((bounds, attempt))
+            if bounds == (113, 126) and attempt == 0:
+                raise RuntimeError("simulated worker death")
+            return original(self, bounds, attempt)
+
+        monkeypatch.setattr(_ShardRunner, "run_shard", flaky)
+        metrics = MetricsRegistry()
+        got = self._sharded(trained, metrics=metrics)
+        # 5 shards of 13 buckets over [100, 160), plus exactly one retry.
+        assert len(calls) == 6
+        assert calls.count(((113, 126), 0)) == 1
+        assert calls.count(((113, 126), 1)) == 1
+        counters = got.metrics["counters"]
+        assert counters["shard.runs"] == 6
+        assert counters["shard.errors"] == 1
+        assert counters["retry.shard.recovered"] == 1
+        assert report_json(got) == report_json(self._sequential(trained))
