@@ -2,15 +2,18 @@
 
 Runs one simulated month through both drivers over the same world:
 
-* scalar: `BlameItPipeline` with per-bucket RNG (the sequential
-  dict-and-loop reference), and
-* fast: `ShardedPipeline` (columnar generation + vectorized passive
-  phase per shard, single-process active phase).
+* scalar: `BlameItPipeline` with ``columnar_pipeline=False`` (the
+  sequential per-row dict-and-loop reference — pinned explicitly now
+  that the columnar driver is the default), and
+* fast: `ShardedPipeline` (columnar generation, batch learning, and
+  vectorized passive phase per shard; single-process active phase).
 
 Reports throughput in quartets/sec and the speedup, asserts the two
 paths produce byte-identical blame counts, and appends a JSON record to
 ``BENCH_scale.json`` at the repo root so the trend is tracked across
-commits.
+commits. A worker sweep (1/2/4) then re-times the fast driver and
+appends per-worker scaling-efficiency rows — on a single-core box the
+efficiency honestly reflects that the fan-out buys nothing.
 
 The timed runs use the default NullRegistry (instrumentation disabled —
 its cost is what the <5 % overhead acceptance bound is about); a short
@@ -48,7 +51,10 @@ START = BUCKETS_PER_DAY
 END = START + MONTH_DAYS * BUCKETS_PER_DAY
 SEED = 77
 
-MIN_SPEEDUP = 3.0
+MIN_SPEEDUP = 6.0
+
+#: Worker counts for the scaling sweep.
+SWEEP_WORKERS = (1, 2, 4)
 
 
 def _month_setup():
@@ -63,18 +69,22 @@ def _month_setup():
 
 def _run_scalar(scenario, table):
     pipeline = BlameItPipeline(
-        scenario, fixed_table=table, seed=SEED, rng_per_bucket=True
+        scenario,
+        config=BlameItConfig(columnar_pipeline=False),
+        fixed_table=table,
+        seed=SEED,
+        rng_per_bucket=True,
     )
     return pipeline.run(START, END)
 
 
-def _run_fast(scenario, table):
+def _run_fast(scenario, table, workers=1):
     pipeline = ShardedPipeline(
         scenario,
         config=BlameItConfig(vectorized_passive=True),
         fixed_table=table,
         seed=SEED,
-        n_workers=max(1, multiprocessing.cpu_count()),
+        n_workers=workers,
     )
     return pipeline.run(START, END)
 
@@ -117,7 +127,8 @@ def test_scale_pipeline(benchmark):
 
     t0 = time.perf_counter()
     fast_report = benchmark.pedantic(
-        _run_fast, args=(scenario, table), rounds=1, iterations=1
+        _run_fast, args=(scenario, table), kwargs={"workers": 1},
+        rounds=1, iterations=1,
     )
     fast_seconds = time.perf_counter() - t0
 
@@ -145,7 +156,7 @@ def test_scale_pipeline(benchmark):
         "world_slots": len(scenario.world.slots),
         "buckets": END - START,
         "quartets": quartets,
-        "workers": max(1, multiprocessing.cpu_count()),
+        "workers": 1,
         "scalar_seconds": round(scalar_seconds, 3),
         "fast_seconds": round(fast_seconds, 3),
         "scalar_quartets_per_sec": round(scalar_qps),
@@ -153,6 +164,28 @@ def test_scale_pipeline(benchmark):
         "speedup": round(speedup, 2),
         "identical_blame_counts": True,
     }
+
+    # Worker sweep: re-time the fast driver at each fan-out and record
+    # scaling efficiency (t_1 / (N · t_N)) against the workers=1 run.
+    # Results must stay byte-identical to the workers=1 report.
+    sweep = [{"workers": 1, "fast_seconds": round(fast_seconds, 3),
+              "scaling_efficiency": 1.0}]
+    for workers in SWEEP_WORKERS[1:]:
+        t0 = time.perf_counter()
+        sweep_report = _run_fast(scenario, table, workers=workers)
+        sweep_seconds = time.perf_counter() - t0
+        assert sweep_report.blame_counts == fast_report.blame_counts
+        assert sweep_report.total_quartets == fast_report.total_quartets
+        sweep.append({
+            "workers": workers,
+            "fast_seconds": round(sweep_seconds, 3),
+            "scaling_efficiency": round(
+                fast_seconds / (workers * sweep_seconds), 3
+            ),
+        })
+    record["worker_sweep"] = sweep
+    record["cpu_count"] = multiprocessing.cpu_count()
+
     history = []
     if RESULTS_FILE.exists():
         history = json.loads(RESULTS_FILE.read_text(encoding="utf-8"))
@@ -173,8 +206,13 @@ def test_scale_pipeline(benchmark):
         f"{len(scenario.world.slots)} slots, {quartets:,} quartets",
         f"scalar   : {scalar_seconds:7.2f}s  {scalar_qps:12,.0f} quartets/sec",
         f"fast     : {fast_seconds:7.2f}s  {fast_qps:12,.0f} quartets/sec "
-        f"({record['workers']} worker(s))",
+        f"(1 worker)",
         f"speedup  : {speedup:.2f}x  (floor {MIN_SPEEDUP}x)",
+        "worker sweep: " + ", ".join(
+            f"N={row['workers']}: {row['fast_seconds']}s "
+            f"(eff {row['scaling_efficiency']})"
+            for row in sweep
+        ) + f"  [{record['cpu_count']} CPU(s)]",
         "blame counts byte-identical: True",
         f"phase seconds ({METRICS_DAYS}-day instrumented run): "
         + ", ".join(f"{k}={v}" for k, v in phase_seconds.items()),

@@ -120,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_diag.add_argument("--top", type=int, default=5, help="alerts to print")
     p_diag.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the window through the sharded pipeline with N worker "
+        "processes (default: the single-process sequential pipeline)",
+    )
+    p_diag.add_argument(
         "--metrics-json",
         metavar="FILE",
         help="enable the repro.obs observability layer and write the "
@@ -232,6 +240,9 @@ def _cmd_diagnose(args) -> int:
         return _fail(message)
     if args.budget < 0:
         return _fail(f"--budget must be >= 0, got {args.budget}")
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        return _fail(f"--workers must be >= 1, got {workers}")
     if getattr(args, "scenario", None):
         from repro.io import load_scenario
 
@@ -260,7 +271,20 @@ def _cmd_diagnose(args) -> int:
 
         chaos = FaultPlan.smoke(args.chaos)
         print(f"chaos: smoke fault plan enabled (seed {args.chaos})")
-    pipeline = BlameItPipeline(scenario, config=config, metrics=metrics, chaos=chaos)
+    if workers is not None:
+        from repro.perf.sharded import ShardedPipeline
+
+        pipeline = ShardedPipeline(
+            scenario,
+            config=config,
+            n_workers=workers,
+            metrics=metrics,
+            chaos=chaos,
+        )
+    else:
+        pipeline = BlameItPipeline(
+            scenario, config=config, metrics=metrics, chaos=chaos
+        )
     warmup_end = min(args.start, 288)
     pipeline.warmup(0, warmup_end, stride=3)
     report = pipeline.run(args.start, end)

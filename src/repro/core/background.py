@@ -17,8 +17,10 @@ at 72× less probing than the always-on strawman.
 
 from __future__ import annotations
 
+import bisect
 import zlib
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.chaos import FaultPlan
 from repro.cloud.traceroute import TracerouteEngine, TracerouteResult
@@ -180,6 +182,12 @@ class BackgroundProber:
     metrics: MetricsRegistry | None = None
     chaos: FaultPlan | None = None
     _targets: dict[TargetKey, Prefix24] = field(default_factory=dict)
+    #: Bucket-of-interval → sorted (key, prefix) probe roster. Built at
+    #: registration time so ``run_bucket`` touches only the targets that
+    #: are actually due instead of hashing every target every bucket.
+    _schedule: dict[int, list[tuple[TargetKey, Prefix24]]] = field(
+        default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.interval_buckets < 1:
@@ -245,7 +253,26 @@ class BackgroundProber:
         if key in self._targets:
             return False
         self._targets[key] = prefix24
+        slot = zlib.crc32(repr(key).encode("utf-8")) % self.interval_buckets
+        bisect.insort(self._schedule.setdefault(slot, []), (key, prefix24))
         return True
+
+    def register_targets_batch(
+        self, targets: Iterable[tuple[str, ASPath, Prefix24]]
+    ) -> list[tuple[str, ASPath, Prefix24]]:
+        """Register many targets; returns the ones that were new.
+
+        The columnar pipeline calls this once per bucket with the
+        first-occurrence-ordered new pairs it found by set-difference on
+        composite codes, so registration order (and therefore the seed
+        order of any follow-up probes) matches the scalar per-quartet
+        loop.
+        """
+        new: list[tuple[str, ASPath, Prefix24]] = []
+        for location_id, middle, prefix24 in targets:
+            if self.register_target(location_id, middle, prefix24):
+                new.append((location_id, middle, prefix24))
+        return new
 
     @property
     def target_count(self) -> int:
@@ -264,11 +291,17 @@ class BackgroundProber:
         return time % self.interval_buckets == digest % self.interval_buckets
 
     def run_bucket(self, time: Timestamp) -> list[TracerouteResult]:
-        """Issue the periodic probes scheduled for one bucket."""
+        """Issue the periodic probes scheduled for one bucket.
+
+        Probes run in sorted key order — the same order the previous
+        full-scan implementation produced — so the traceroute engine's
+        RNG consumption is unchanged.
+        """
         results: list[TracerouteResult] = []
-        for key, prefix in sorted(self._targets.items()):
-            if not self._due(key, time):
-                continue
+        due: Sequence[tuple[TargetKey, Prefix24]] = self._schedule.get(
+            time % self.interval_buckets, ()
+        )
+        for key, prefix in due:
             result = self._probe(key[0], prefix, time)
             self.probes_periodic += 1
             self.metrics.counter("probe.background.periodic").inc()
@@ -310,9 +343,10 @@ class BackgroundProber:
         self.metrics.counter("probe.background.churn").inc()
         if result is not None:
             if update.kind is BGPUpdateKind.ANNOUNCE and update.new_path is not None:
-                # Track the target under its new middle path as well.
-                self._targets.setdefault(
-                    (update.location_id, middle_asns(update.new_path)), prefix
+                # Track the target under its new middle path as well
+                # (register_target keeps the periodic schedule in sync).
+                self.register_target(
+                    update.location_id, middle_asns(update.new_path), prefix
                 )
         return result
 

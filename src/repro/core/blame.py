@@ -5,7 +5,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.core.quartet import Quartet
+import numpy as np
+
+from repro.core.quartet import Quartet, QuartetBatch
 from repro.sim.faults import SegmentKind
 
 
@@ -60,3 +62,76 @@ class BlameResult:
         if self.blame is Blame.CLIENT:
             return self.quartet.client_asn
         return None
+
+
+#: Decision-chain codes used by the vectorized passive phase: 0/2 are the
+#: insufficient exits (before/after the middle step), 1 cloud, 3 middle,
+#: 4 ambiguous, 5 client. Codes ≤ 1 stop before the middle aggregate is
+#: consulted, so their results never carry a middle fraction.
+BLAME_BY_CODE: tuple[Blame, ...] = (
+    Blame.INSUFFICIENT,
+    Blame.CLOUD,
+    Blame.INSUFFICIENT,
+    Blame.MIDDLE,
+    Blame.AMBIGUOUS,
+    Blame.CLIENT,
+)
+
+
+@dataclass(slots=True)
+class BlameResultBatch:
+    """Columnar blame results for the bad quartets of one bucket.
+
+    The array twin of ``list[BlameResult]``: row ``i`` of every column
+    describes the same bad quartet, in the order the scalar chain would
+    have emitted it. This is what the vectorized passive phase produces
+    and what sharded workers ship to the fold process — materializing
+    per-row :class:`BlameResult` objects is deferred to
+    :meth:`to_results` (and only ever runs over *bad* rows).
+
+    Attributes:
+        batch: The bad quartets (a row-subset of the bucket's batch).
+        code: Decision-chain code per row (indexes :data:`BLAME_BY_CODE`).
+        cloud_fraction: Cloud bad-fraction per row; NaN encodes None.
+        middle_fraction: Middle bad-fraction per row; NaN encodes None
+            (always NaN for codes ≤ 1, which stop before the middle step).
+    """
+
+    batch: QuartetBatch
+    code: np.ndarray
+    cloud_fraction: np.ndarray
+    middle_fraction: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def to_results(self) -> list[BlameResult]:
+        """Materialize per-row :class:`BlameResult` records (same order)."""
+        batch = self.batch
+        codes = self.code.tolist()
+        clouds = self.cloud_fraction.tolist()
+        middles = self.middle_fraction.tolist()
+        results: list[BlameResult] = []
+        for i, c in enumerate(codes):
+            cloud = clouds[i]
+            middle = middles[i]
+            results.append(
+                BlameResult(
+                    batch.row(i),
+                    BLAME_BY_CODE[c],
+                    None if cloud != cloud else cloud,  # NaN → None
+                    None if middle != middle else middle,
+                )
+            )
+        return results
+
+    @classmethod
+    def empty(cls, batch: QuartetBatch) -> "BlameResultBatch":
+        """A zero-row result batch sharing ``batch``'s vocabularies."""
+        none = np.empty(0, dtype=np.int64)
+        return cls(
+            batch=batch.take(none),
+            code=none,
+            cloud_fraction=np.empty(0, dtype=np.float64),
+            middle_fraction=np.empty(0, dtype=np.float64),
+        )

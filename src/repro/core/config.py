@@ -44,7 +44,17 @@ class BlameItConfig:
             the NumPy fast path (columnar :class:`QuartetBatch` array
             ops). Produces results identical to the scalar reference;
             off by default so the scalar code stays the executable
-            specification.
+            specification. Only consulted by the scalar pipeline — the
+            columnar pipeline is batch-native throughout.
+        columnar_pipeline: Drive the sequential pipeline columnar
+            end-to-end: batches from
+            :class:`~repro.perf.batch.BatchQuartetGenerator`, columnar
+            ingest, batch learning / client observation / target
+            registration, and the vectorized passive phase — quartets
+            never materialize as per-row objects on the hot path.
+            Byte-identical to the scalar loop (the golden report and the
+            equivalence sweep run against it); turn off to fall back to
+            the executable-specification scalar loop.
     """
 
     tau: float = 0.8
@@ -59,6 +69,7 @@ class BlameItConfig:
     good_rtt_slack_ms: float = 0.0
     use_reverse_traceroutes: bool = False
     vectorized_passive: bool = False
+    columnar_pipeline: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.tau <= 1.0:

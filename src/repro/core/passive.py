@@ -32,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cloud.locations import RTTTargets
-from repro.core.blame import Blame, BlameResult
+from repro.core.blame import BLAME_BY_CODE, Blame, BlameResult, BlameResultBatch
 from repro.core.config import BlameItConfig
 from repro.core.quartet import Quartet, QuartetBatch
 from repro.core.thresholds import ExpectedRTTTable
@@ -79,6 +79,15 @@ class PassiveLocalizer:
         self.config = config
         self.targets = targets
         self.metrics = metrics or NULL_REGISTRY
+        # Vocab-derived array caches for the vectorized path, keyed on
+        # object identity. Values keep strong references to their key
+        # objects so ids cannot be recycled while an entry is live; the
+        # generator's vocab tuples are identity-stable across buckets, so
+        # in steady state these rebuild only when the table rolls over.
+        self._target_cache: dict[int, tuple[object, np.ndarray, np.ndarray]] = {}
+        self._expected_cache: dict[
+            tuple[int, int, str], tuple[object, object, np.ndarray, np.ndarray]
+        ] = {}
 
     def _effective_table(self, table: ExpectedRTTTable | None) -> ExpectedRTTTable:
         """Harden against a missing table: degrade instead of raising."""
@@ -94,6 +103,56 @@ class PassiveLocalizer:
         metrics.counter("passive.bad").inc(len(results))
         for result in results:
             metrics.counter(f"passive.blame.{result.blame.value}").inc()
+
+    def _count_blames(self, gated_out: int, blames: BlameResultBatch) -> None:
+        """Columnar twin of :meth:`_count_results` (same counter values)."""
+        metrics = self.metrics
+        metrics.counter("passive.gated_out").inc(gated_out)
+        metrics.counter("passive.bad").inc(len(blames))
+        if len(blames):
+            counts = np.bincount(blames.code, minlength=len(BLAME_BY_CODE))
+            for c, count in enumerate(counts.tolist()):
+                if count:
+                    metrics.counter(
+                        f"passive.blame.{BLAME_BY_CODE[c].value}"
+                    ).inc(count)
+
+    # -- identity-keyed vocab-array caches -------------------------------
+
+    def _region_targets(
+        self, regions: tuple
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-region badness targets (fixed, mobile), cached by vocab."""
+        entry = self._target_cache.get(id(regions))
+        if entry is None or entry[0] is not regions:
+            fixed = np.array([self.targets.target_ms(r, False) for r in regions])
+            mobile = np.array([self.targets.target_ms(r, True) for r in regions])
+            if len(self._target_cache) > 64:
+                self._target_cache.clear()
+            entry = (regions, fixed, mobile)
+            self._target_cache[id(regions)] = entry
+        return entry[1], entry[2]
+
+    def _expected_arrays(
+        self, table: ExpectedRTTTable, vocab: tuple, lookup, kind: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Expected RTT per vocab entry (fixed, mobile); NaN = unknown.
+
+        Cached per (table, vocab) identity pair: tables are immutable
+        once built and the generator's vocab tuples are identity-stable,
+        so a steady-state bucket reuses the arrays instead of doing two
+        dict lookups per vocab entry per bucket.
+        """
+        cache_key = (id(table), id(vocab), kind)
+        entry = self._expected_cache.get(cache_key)
+        if entry is None or entry[0] is not table or entry[1] is not vocab:
+            fixed = np.array([_nan_if_none(lookup(key, False)) for key in vocab])
+            mobile = np.array([_nan_if_none(lookup(key, True)) for key in vocab])
+            if len(self._expected_cache) > 128:
+                self._expected_cache.clear()
+            entry = (table, vocab, fixed, mobile)
+            self._expected_cache[cache_key] = entry
+        return entry[2], entry[3]
 
     # -- public API -----------------------------------------------------
 
@@ -161,19 +220,31 @@ class PassiveLocalizer:
         blames, same fractions) to the scalar reference on the same
         quartets — asserted by the property tests.
         """
+        return self.assign_batch_columnar(batch, table).to_results()
+
+    def assign_batch_columnar(
+        self, batch: QuartetBatch, table: ExpectedRTTTable | None
+    ) -> BlameResultBatch:
+        """:meth:`assign_batch` without materializing per-row results.
+
+        This is the native form for the columnar pipeline and the sharded
+        driver's shard-to-fold transport: bad rows stay a row-subset
+        batch plus code/fraction arrays until someone needs records.
+        """
         table = self._effective_table(table)
         with self.metrics.span("passive.vectorized"):
-            gated_out, results = self._assign_batch(batch, table)
-        self._count_results(gated_out, results)
-        return results
+            gated_out, blames = self._assign_batch(batch, table)
+        self._count_blames(gated_out, blames)
+        return blames
 
     def _assign_batch(
         self, batch: QuartetBatch, table: ExpectedRTTTable
-    ) -> tuple[int, list[BlameResult]]:
+    ) -> tuple[int, BlameResultBatch]:
         config = self.config
         gate = np.nonzero(batch.n_samples >= config.min_quartet_samples)[0]
         if len(gate) == 0:
-            return len(batch), []
+            return len(batch), BlameResultBatch.empty(batch)
+        gated_out = len(batch) - len(gate)
         rtt = batch.mean_rtt_ms[gate]
         mobile = batch.mobile[gate]
         loc_idx = batch.location_index[gate]
@@ -182,29 +253,21 @@ class PassiveLocalizer:
         prefix24 = batch.prefix24[gate]
 
         # Region badness targets, per quartet.
-        target_fixed = np.array(
-            [self.targets.target_ms(r, False) for r in batch.regions]
-        )
-        target_mobile = np.array(
-            [self.targets.target_ms(r, True) for r in batch.regions]
-        )
+        target_fixed, target_mobile = self._region_targets(batch.regions)
         target = np.where(mobile, target_mobile[region_idx], target_fixed[region_idx])
         bad = rtt >= target
+        bad_rows = np.nonzero(bad)[0]
+        if len(bad_rows) == 0:
+            return gated_out, BlameResultBatch.empty(batch)
 
         n_loc = len(batch.locations)
         n_mid = len(batch.middles)
-
-        def expected_for(vocab, lookup):
-            fixed = np.array(
-                [_nan_if_none(lookup(key, False)) for key in vocab]
-            )
-            cellular = np.array(
-                [_nan_if_none(lookup(key, True)) for key in vocab]
-            )
-            return fixed, cellular
-
-        ec_fixed, ec_mobile = expected_for(batch.locations, table.expected_cloud)
-        em_fixed, em_mobile = expected_for(batch.middles, table.expected_middle)
+        ec_fixed, ec_mobile = self._expected_arrays(
+            table, batch.locations, table.expected_cloud, "cloud"
+        )
+        em_fixed, em_mobile = self._expected_arrays(
+            table, batch.middles, table.expected_middle, "middle"
+        )
         cloud_expected = np.where(mobile, ec_mobile[loc_idx], ec_fixed[loc_idx])
         middle_expected = np.where(mobile, em_mobile[mid_idx], em_fixed[mid_idx])
         cloud_known = ~np.isnan(cloud_expected)
@@ -240,20 +303,24 @@ class PassiveLocalizer:
                 middle_judged > 0, middle_bad / np.maximum(middle_judged, 1), np.nan
             )
 
-        # The decision chain, computed for every gated row at once.
+        # The decision chain, computed only for the bad rows (the
+        # aggregates above already folded in every gated row).
+        loc_b = loc_idx[bad_rows]
+        mid_b = mid_idx[bad_rows]
+        pair_b = pair_key[bad_rows]
         min_agg = config.min_aggregate_quartets
-        cloud_frac = cloud_frac_all[loc_idx]
-        middle_frac = middle_frac_all[mid_idx]
-        insuff_cloud = (cloud_total[loc_idx] < min_agg) | np.isnan(cloud_frac)
+        cloud_frac = cloud_frac_all[loc_b]
+        middle_frac = middle_frac_all[mid_b]
+        insuff_cloud = (cloud_total[loc_b] < min_agg) | np.isnan(cloud_frac)
         is_cloud = ~insuff_cloud & (cloud_frac >= config.tau)
         after_cloud = ~insuff_cloud & ~is_cloud
         insuff_middle = after_cloud & (
-            (middle_total[mid_idx] < min_agg) | np.isnan(middle_frac)
+            (middle_total[mid_b] < min_agg) | np.isnan(middle_frac)
         )
         is_middle = after_cloud & ~insuff_middle & (middle_frac >= config.tau)
         rest = after_cloud & ~insuff_middle & ~is_middle
 
-        self_key = pair_key * n_loc + loc_idx
+        self_key = pair_b * n_loc + loc_b
         pos = np.searchsorted(good_pairs, self_key)
         in_bounds = pos < len(good_pairs)
         self_good = np.zeros(len(self_key), dtype=bool)
@@ -261,49 +328,36 @@ class PassiveLocalizer:
             self_good[in_bounds] = (
                 good_pairs[pos[in_bounds]] == self_key[in_bounds]
             )
-        pair_pos = np.searchsorted(unique_good_pairs, pair_key)
+        pair_pos = np.searchsorted(unique_good_pairs, pair_b)
         pair_in = pair_pos < len(unique_good_pairs)
-        n_good = np.zeros(len(pair_key), dtype=np.int64)
+        n_good = np.zeros(len(pair_b), dtype=np.int64)
         if len(unique_good_pairs):
             hit = pair_in.copy()
             hit[pair_in] = (
-                unique_good_pairs[pair_pos[pair_in]] == pair_key[pair_in]
+                unique_good_pairs[pair_pos[pair_in]] == pair_b[pair_in]
             )
             n_good[hit] = good_loc_counts[pair_pos[hit]]
         elsewhere = (n_good - self_good.astype(np.int64)) > 0
         is_ambiguous = rest & elsewhere
 
-        # Blame codes: 0/2 insufficient, 1 cloud, 3 middle, 4 ambiguous,
-        # 5 client. Codes 0 and 1 stop before the middle step, so their
+        # Blame codes (see :data:`repro.core.blame.BLAME_BY_CODE`). The
+        # masks are mutually exclusive, so plain masked stores replace
+        # np.select. Codes 0 and 1 stop before the middle step, so their
         # results carry no middle fraction (matching the scalar chain).
-        code = np.select(
-            [insuff_cloud, is_cloud, insuff_middle, is_middle, is_ambiguous],
-            [0, 1, 2, 3, 4],
-            default=5,
+        code = np.full(len(bad_rows), 5, dtype=np.int64)
+        code[is_ambiguous] = 4
+        code[is_middle] = 3
+        code[insuff_middle] = 2
+        code[is_cloud] = 1
+        code[insuff_cloud] = 0
+        middle_out = middle_frac.copy()
+        middle_out[code <= 1] = np.nan
+        return gated_out, BlameResultBatch(
+            batch=batch.take(gate[bad_rows]),
+            code=code,
+            cloud_fraction=cloud_frac,
+            middle_fraction=middle_out,
         )
-        _BLAMES = (
-            Blame.INSUFFICIENT, Blame.CLOUD, Blame.INSUFFICIENT,
-            Blame.MIDDLE, Blame.AMBIGUOUS, Blame.CLIENT,
-        )
-        cloud_none = np.isnan(cloud_frac)
-        middle_none = np.isnan(middle_frac)
-        results: list[BlameResult] = []
-        for row in np.nonzero(bad)[0].tolist():
-            c = int(code[row])
-            cloud_fraction = None if cloud_none[row] else float(cloud_frac[row])
-            if c <= 1:
-                middle_fraction = None
-            else:
-                middle_fraction = (
-                    None if middle_none[row] else float(middle_frac[row])
-                )
-            results.append(
-                BlameResult(
-                    batch.row(gate[row]), _BLAMES[c], cloud_fraction,
-                    middle_fraction,
-                )
-            )
-        return len(batch) - len(gate), results
 
     def is_bad(self, quartet: Quartet) -> bool:
         """Whether a quartet's average RTT breaches its region target.

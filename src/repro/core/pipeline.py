@@ -18,7 +18,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.chaos import FaultPlan, inject_quartets, sanitize_quartets
+from repro.chaos import (
+    FaultPlan,
+    inject_batch,
+    inject_quartets,
+    sanitize_batch,
+    sanitize_quartets,
+)
 from repro.cloud.traceroute import TracerouteEngine
 from repro.core.active import (
     IssueTracker,
@@ -35,7 +41,7 @@ from repro.core.localize import CulpritVerdict, localize_culprit
 from repro.core.passive import PassiveLocalizer
 from repro.core.reverse import localize_bidirectional
 from repro.core.prediction import ClientCountPredictor, DurationPredictor
-from repro.core.quartet import Quartet
+from repro.core.quartet import Quartet, QuartetBatch
 from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
 from repro.net.asn import ASPath, middle_asns
 from repro.net.bgp import Timestamp
@@ -320,6 +326,12 @@ class BlameItPipeline:
         self.seed = seed
         self.rng_per_bucket = rng_per_bucket
         self._recorded_middle: set[int] = set()
+        # Per-scenario columnar generator state: id(scenario) → (scenario,
+        # BatchQuartetGenerator, seen pair codes). The scenario reference
+        # keeps the id stable; the seen set lets the columnar fold skip
+        # register_target for pairs it already attempted (the scalar loop
+        # re-attempts and gets False — same outcome, no RNG either way).
+        self._generators: dict[int, tuple[Scenario, object, set[int]]] = {}
 
     def bucket_rng(self, time: Timestamp) -> np.random.Generator | None:
         """The per-bucket generator, or None in shared-stream mode."""
@@ -348,6 +360,15 @@ class BlameItPipeline:
                 runs can share one trained learner.
         """
         source = scenario or self.scenario
+        if self.config.columnar_pipeline:
+            generator, seen = self._generator_for(source)
+            for time in range(start, end, max(1, stride)):
+                batch = generator.generate(time)
+                self.learner.observe_batch(batch)
+                self._fold_bucket_columnar(
+                    time, batch, generator, seen, seed_new=False
+                )
+            return
         for time in range(start, end, max(1, stride)):
             quartets = source.generate_quartets(time)
             self.learner.observe_all(quartets)
@@ -365,7 +386,17 @@ class BlameItPipeline:
         A bootstrap probe sweep seeds baselines for all registered
         targets at ``start`` (production would have these from the
         steady-state background schedule).
+
+        Dispatches on ``config.columnar_pipeline``: the columnar loop is
+        the production path; the scalar loop below is the executable
+        specification it is held byte-identical to.
         """
+        if self.config.columnar_pipeline:
+            return self._run_columnar(start, end)
+        return self._run_scalar(start, end)
+
+    def _run_scalar(self, start: Timestamp, end: Timestamp) -> PipelineReport:
+        """Reference loop over per-row :class:`Quartet` objects."""
         report = PipelineReport(start=start, end=end)
         metrics = self.metrics
         self._bootstrap_baselines(start, report)
@@ -408,7 +439,124 @@ class BlameItPipeline:
         self._finalize(report)
         return report
 
+    def _run_columnar(self, start: Timestamp, end: Timestamp) -> PipelineReport:
+        """The batch-native hot path: quartets stay columnar end to end.
+
+        Each bucket flows generation → chaos/sanitize → learning →
+        client/target fold → background probing as
+        :class:`~repro.core.quartet.QuartetBatch` columns; per-row
+        :class:`Quartet` objects are materialized only for the bad rows
+        that survive Algorithm 1 (inside ``_process_results``). Every
+        stateful consumer sees the same values in the same order as the
+        scalar loop, so the two are byte-identical (see DESIGN.md §4b).
+        """
+        report = PipelineReport(start=start, end=end)
+        metrics = self.metrics
+        self._bootstrap_baselines(start, report)
+        generator, seen = self._generator_for(self.scenario)
+        window: list[QuartetBatch] = []
+        table, table_dropped = self._starting_table()
+        table_day = start // BUCKETS_PER_DAY
+        for time in range(start, end):
+            day = time // BUCKETS_PER_DAY
+            if self.fixed_table is None and not table_dropped and day != table_day:
+                table = self.learner.table(as_of_day=day)
+                table_day = day
+            with metrics.span("phase.generation"):
+                batch = generator.generate(time, rng=self.bucket_rng(time))
+            batch = self._ingest_batch(batch)
+            report.total_quartets += len(batch)
+            metrics.counter("pipeline.buckets").inc()
+            metrics.counter("pipeline.quartets").inc(len(batch))
+            if self.fixed_table is None:
+                with metrics.span("phase.learning"):
+                    self.learner.observe_batch(batch)
+            self._fold_bucket_columnar(time, batch, generator, seen, seed_new=True)
+            self.background.run_bucket(time)
+            for update in self.scenario.updates_between(time, time + 1):
+                self.background.on_bgp_update(update)
+            if len(batch):
+                window.append(batch)
+            if (time + 1 - start) % self.config.run_interval_buckets == 0:
+                self._process_window_batches(time, window, table, report)
+                window = []
+        if window:
+            self._process_window_batches(end - 1, window, table, report)
+        self._finalize(report)
+        return report
+
     # -- internals -----------------------------------------------------------
+
+    def _generator_for(self, source: Scenario):
+        """The cached columnar generator (and seen-pair set) for a scenario."""
+        entry = self._generators.get(id(source))
+        if entry is None or entry[0] is not source:
+            # Function-level import: repro.perf imports this module back.
+            from repro.perf.batch import BatchQuartetGenerator
+
+            entry = (source, BatchQuartetGenerator(source), set())
+            self._generators[id(source)] = entry
+        return entry[1], entry[2]
+
+    def _ingest_batch(self, batch: QuartetBatch) -> QuartetBatch:
+        """Columnar :meth:`_ingest`: chaos injection, then sanitization."""
+        if self.chaos is not None:
+            batch = inject_batch(self.chaos, batch, self.metrics)
+        return sanitize_batch(batch, self.metrics)
+
+    def _fold_bucket_columnar(
+        self,
+        time: Timestamp,
+        batch: QuartetBatch,
+        generator,
+        seen: set[int],
+        *,
+        seed_new: bool,
+    ) -> None:
+        """Client counts and probe targets from one bucket's columns.
+
+        Groups rows by composite ⟨location, middle⟩ pair code and walks
+        the unique pairs in first-occurrence row order — the order the
+        scalar loop's ``Counter`` insertion and per-quartet
+        ``register_target`` calls produce. Seeding order matters: each
+        seed probe draws measurement noise from the engine's shared RNG.
+        """
+        if not len(batch):
+            return
+        codes = batch.pair_codes()
+        unique, first_idx, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        users = np.bincount(inverse, weights=batch.users)
+        prefixes = batch.prefix24
+        order = np.argsort(first_idx, kind="stable").tolist()
+        keys = [generator.pair_key(int(unique[pos])) for pos in order]
+        self.client_predictor.observe_bucket(
+            keys, time, [int(users[pos]) for pos in order]
+        )
+        for key, pos in zip(keys, order):
+            code = int(unique[pos])
+            if code in seen:
+                continue
+            seen.add(code)
+            prefix = int(prefixes[first_idx[pos]])
+            if self.background.register_target(key[0], key[1], prefix):
+                if seed_new:
+                    self.background.seed_target(key[0], key[1], prefix, time)
+
+    def _process_window_batches(
+        self,
+        now: Timestamp,
+        window: list[QuartetBatch],
+        table,
+        report: PipelineReport,
+    ) -> None:
+        """Columnar :meth:`_process_window`: batches arrive bucket-ordered."""
+        with self.metrics.span("phase.passive"):
+            results: list[BlameResult] = []
+            for batch in window:
+                results.extend(self.passive.assign_batch(batch, table))
+        self._process_results(now, results, report)
 
     def _starting_table(self) -> tuple[ExpectedRTTTable, bool]:
         """The run's expected-RTT table, plus whether chaos withheld it.

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
+import numpy as np
+
 from repro.net.bgp import Timestamp
 
 #: Buckets per day.
@@ -46,6 +48,10 @@ class DurationPredictor:
         self.prior_mean_buckets = prior_mean_buckets
         self._global: list[int] = []
         self._by_key: dict[Hashable, list[int]] = {}
+        # Sorted-array views per pool, rebuilt only when the pool grew:
+        # id(pool) → (length at build, sorted durations, suffix sums).
+        # Pool lists live as long as the predictor, so ids are stable.
+        self._stats_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
 
     def observe(self, duration: int, key: Hashable | None = None) -> None:
         """Record one completed issue's total duration.
@@ -72,17 +78,39 @@ class DurationPredictor:
                 return history
         return self._global
 
+    def _pool_stats(self, pool: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted durations and suffix sums for a pool (cached).
+
+        ``suffix[i]`` is the sum of ``sorted[i:]``, so both queries
+        reduce to ``searchsorted`` instead of an O(n) scan per call.
+        Integer sums are order-independent and exact in int64, which is
+        why the fast path returns the same floats as the list scans.
+        """
+        cached = self._stats_cache.get(id(pool))
+        if cached is not None and cached[0] == len(pool):
+            return cached[1], cached[2]
+        durations = np.sort(np.asarray(pool, dtype=np.int64))
+        suffix = np.zeros(len(durations) + 1, dtype=np.int64)
+        if len(durations):
+            suffix[:-1] = np.cumsum(durations[::-1])[::-1]
+        self._stats_cache[id(pool)] = (len(pool), durations, suffix)
+        return durations, suffix
+
     def survival_probability(
         self, elapsed: int, additional: int, key: Hashable | None = None
     ) -> float:
         """P(total duration > elapsed + additional | duration > elapsed)."""
         if elapsed < 0 or additional < 0:
             raise ValueError("elapsed and additional must be non-negative")
-        pool = self._pool(key)
-        alive = [d for d in pool if d > elapsed]
-        if not alive:
+        durations, _ = self._pool_stats(self._pool(key))
+        n = len(durations)
+        alive = n - int(np.searchsorted(durations, elapsed, side="right"))
+        if alive == 0:
             return 0.0
-        return sum(1 for d in alive if d > elapsed + additional) / len(alive)
+        survive = n - int(
+            np.searchsorted(durations, elapsed + additional, side="right")
+        )
+        return survive / alive
 
     def expected_remaining(self, elapsed: int, key: Hashable | None = None) -> float:
         """Expected additional duration given the issue has lasted ``elapsed``.
@@ -92,11 +120,12 @@ class DurationPredictor:
         """
         if elapsed < 0:
             raise ValueError("elapsed must be non-negative")
-        pool = self._pool(key)
-        alive = [d for d in pool if d > elapsed]
-        if not alive:
+        durations, suffix = self._pool_stats(self._pool(key))
+        idx = int(np.searchsorted(durations, elapsed, side="right"))
+        alive = len(durations) - idx
+        if alive == 0:
             return self.prior_mean_buckets
-        return sum(alive) / len(alive) - elapsed
+        return int(suffix[idx]) / alive - elapsed
 
     @property
     def n_observed(self) -> int:
@@ -115,15 +144,87 @@ class ClientCountPredictor:
         if history_days < 1:
             raise ValueError("history_days must be >= 1")
         self.history_days = history_days
-        self._counts: dict[tuple[Hashable, Timestamp], int] = {}
+        # Bucket → that bucket's per-key counts. Bulk observes store the
+        # caller's (keys, counts) column pair as-is — O(1) per bucket —
+        # and the first predict against the bucket materializes a dict
+        # in place. Most buckets are never queried (only issue windows
+        # look back), so most never pay for a dict at all.
+        self._buckets: dict[Timestamp, dict | tuple[list, list]] = {}
         self._recent: dict[Hashable, tuple[Timestamp, int]] = {}
+        self._evicted_before_day: int | None = None
+
+    def _advance_day(self, time: Timestamp) -> None:
+        """Lazy eviction hook: fires when the observed day advances."""
+        day = time // _BUCKETS_PER_DAY
+        if self._evicted_before_day is None:
+            self._evicted_before_day = day
+        elif day > self._evicted_before_day:
+            self._evict(day)
+            self._evicted_before_day = day
 
     def observe(self, key: Hashable, time: Timestamp, clients: int) -> None:
-        """Record the active-client count of a path in one bucket."""
+        """Record the active-client count of a path in one bucket.
+
+        Entries too old to ever be read again are evicted lazily when the
+        observed day advances, bounding the history to
+        O(keys × history_days) instead of the full horizon.
+        """
         if clients < 0:
             raise ValueError("clients must be non-negative")
-        self._counts[(key, time)] = clients
+        self._advance_day(time)
+        self._bucket_dict(time)[key] = clients
         self._recent[key] = (time, clients)
+
+    def observe_bucket(
+        self, keys: list[Hashable], time: Timestamp, counts: list[int]
+    ) -> None:
+        """Record many paths' counts for one bucket in one call.
+
+        State-identical to calling :meth:`observe` per pair (same bucket
+        → the eviction check fires at most once either way; duplicate
+        keys resolve last-wins in both). The caller's lists are stored
+        by reference and must not be mutated afterwards — the columnar
+        pipelines build them fresh per bucket. An empty batch is a
+        no-op, like zero :meth:`observe` calls.
+        """
+        if not keys:
+            return
+        if min(counts) < 0:
+            raise ValueError("clients must be non-negative")
+        self._advance_day(time)
+        existing = self._buckets.get(time)
+        if existing is None:
+            self._buckets[time] = (keys, counts)
+        else:
+            self._bucket_dict(time).update(zip(keys, counts))
+        self._recent.update(zip(keys, ((time, c) for c in counts)))
+
+    def _bucket_dict(self, time: Timestamp) -> dict:
+        """The bucket's per-key dict, materializing stored columns."""
+        bucket = self._buckets.get(time)
+        if type(bucket) is not dict:
+            bucket = dict(zip(*bucket)) if bucket is not None else {}
+            self._buckets[time] = bucket
+        return bucket
+
+    def _evict(self, day: int) -> None:
+        """Drop buckets no in-order query can reach anymore.
+
+        ``predict(key, t)`` reads buckets back to
+        ``t - history_days * _BUCKETS_PER_DAY``; for queries at or after
+        day ``day`` (observations arrive in time order, and predictions
+        are issued for the current window), anything more than
+        ``history_days + 1`` days behind is unreadable. The extra day of
+        slack tolerates predictions slightly behind the newest
+        observation. ``_recent`` is left alone — it is O(keys) and backs
+        the last-resort fallback.
+        """
+        horizon = (day - self.history_days - 1) * _BUCKETS_PER_DAY
+        if horizon <= 0:
+            return
+        stale = [bucket for bucket in self._buckets if bucket < horizon]
+        for bucket in stale:
+            del self._buckets[bucket]
 
     def predict(self, key: Hashable, time: Timestamp) -> float:
         """Expected active clients for ``key`` in bucket ``time``.
@@ -135,9 +236,10 @@ class ClientCountPredictor:
         history = []
         for day in range(1, self.history_days + 1):
             past = time - day * _BUCKETS_PER_DAY
-            count = self._counts.get((key, past))
-            if count is not None:
-                history.append(count)
+            if past in self._buckets:
+                count = self._bucket_dict(past).get(key)
+                if count is not None:
+                    history.append(count)
         if history:
             return sum(history) / len(history)
         recent = self._recent.get(key)

@@ -26,6 +26,10 @@ from repro.net.geo import Region
 #: Minimum RTT samples for a trustworthy quartet average (§2.1).
 DEFAULT_MIN_SAMPLES = 10
 
+#: Bit width reserved for the middle-path index inside a pair code (the
+#: ⟨location, middle⟩ composite key the columnar hot path groups by).
+PAIR_SHIFT = 32
+
 
 class QuartetKey(NamedTuple):
     """The identifying 4-tuple of a quartet."""
@@ -243,6 +247,46 @@ class QuartetBatch:
     def to_quartets(self) -> list[Quartet]:
         """Materialize every row (mainly for tests and interop)."""
         return [self.row(i) for i in range(len(self))]
+
+    def take(self, indices: np.ndarray) -> "QuartetBatch":
+        """A new batch holding ``indices``' rows (vocabularies shared).
+
+        Row objects cached by :meth:`from_quartets` are carried over so
+        :meth:`row` keeps returning the original records.
+        """
+        rows = self._rows
+        return QuartetBatch(
+            time=self.time[indices],
+            prefix24=self.prefix24[indices],
+            mobile=self.mobile[indices],
+            mean_rtt_ms=self.mean_rtt_ms[indices],
+            n_samples=self.n_samples[indices],
+            users=self.users[indices],
+            client_asn=self.client_asn[indices],
+            location_index=self.location_index[indices],
+            locations=self.locations,
+            middle_index=self.middle_index[indices],
+            middles=self.middles,
+            region_index=self.region_index[indices],
+            regions=self.regions,
+            _rows=None if rows is None else tuple(rows[int(i)] for i in indices),
+        )
+
+    def pair_codes(self) -> np.ndarray:
+        """Composite ⟨location, middle⟩ integer codes, one per row.
+
+        Codes are comparable across batches only while both batches share
+        append-only vocabularies (true for batches produced by one
+        :class:`~repro.perf.batch.BatchQuartetGenerator`).
+        """
+        return (self.location_index << PAIR_SHIFT) | self.middle_index
+
+    def pair_key(self, code: int) -> tuple[str, ASPath]:
+        """Decode a :meth:`pair_codes` value into ``(location_id, middle)``."""
+        return (
+            self.locations[code >> PAIR_SHIFT],
+            self.middles[code & ((1 << PAIR_SHIFT) - 1)],
+        )
 
 
 def split_half_means(rtts: list[float]) -> tuple[float, float]:

@@ -11,6 +11,7 @@ scenario evolves, and a :class:`BGPListener` fans the resulting
 
 from __future__ import annotations
 
+import bisect
 import enum
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -147,6 +148,10 @@ class BGPListener:
 
     _subscribers: list[Callable[[BGPUpdate], None]] = field(default_factory=list)
     log: list[BGPUpdate] = field(default_factory=list)
+    #: Whether ``log`` is non-decreasing in time (the normal case:
+    #: scenarios publish installs then reroutes in time order), enabling
+    #: bisected range queries. A single out-of-order publish clears it.
+    _log_sorted: bool = True
 
     def subscribe(self, callback: Callable[[BGPUpdate], None]) -> None:
         """Register a callback invoked for every future update."""
@@ -156,6 +161,8 @@ class BGPListener:
         """Record an update and notify subscribers. ``None`` is ignored."""
         if update is None:
             return
+        if self._log_sorted and self.log and update.time < self.log[-1].time:
+            self._log_sorted = False
         self.log.append(update)
         for callback in self._subscribers:
             callback(update)
@@ -167,7 +174,12 @@ class BGPListener:
 
     def updates_between(self, start: Timestamp, end: Timestamp) -> tuple[BGPUpdate, ...]:
         """Logged updates with ``start <= time < end``."""
-        return tuple(u for u in self.log if start <= u.time < end)
+        log = self.log
+        if self._log_sorted:
+            lo = bisect.bisect_left(log, start, key=lambda u: u.time)
+            hi = bisect.bisect_left(log, end, lo=lo, key=lambda u: u.time)
+            return tuple(log[lo:hi])
+        return tuple(u for u in log if start <= u.time < end)
 
     def churn_fraction(self, total_paths: int) -> float:
         """Fraction of distinct (location, prefix) pairs that ever churned.

@@ -20,14 +20,15 @@ counts.
 from __future__ import annotations
 
 import bisect
+import zlib
 
 import numpy as np
 
-from repro.core.quartet import Quartet, QuartetBatch
+from repro.core.quartet import PAIR_SHIFT, Quartet, QuartetBatch
 from repro.net.asn import ASPath
 from repro.net.bgp import Timestamp
 from repro.net.geo import Region
-from repro.sim.faults import Fault
+from repro.sim.faults import Direction, Fault, SegmentKind
 from repro.sim.scenario import BUCKETS_PER_DAY, Scenario
 from repro.sim.workload import is_weekend
 
@@ -119,8 +120,44 @@ class BatchQuartetGenerator:
         self._amp_cache: dict[int, np.ndarray] = {}
         self._fault_masks: dict[int, np.ndarray] = {}
         self._fault_seg_applies: dict[int, np.ndarray] = {}
+        # Vectorized fault-applicability tables, built lazily on the
+        # first fault (fault-free scenarios never pay for them).
+        self._fault_tables_built = False
+        self._mid_member: dict[int, np.ndarray] = {}
+        self._rev_member: dict[int, np.ndarray] = {}
+        # Frozen vocab views shared by every produced batch. The vocabs
+        # are fully populated in __init__, so the same tuple objects can
+        # back every batch — downstream caches key on tuple identity,
+        # and one pickle of a shard output serializes each vocab once.
+        self._locations_tuple: tuple[str, ...] = tuple(self._locations)
+        self._middles_tuple: tuple[ASPath, ...] = tuple(self._middles)
+        self._pair_key_cache: dict[int, tuple[str, ASPath]] = {}
 
     # -- vocab helpers -------------------------------------------------
+
+    def _vocab_tuples(self) -> tuple[tuple[str, ...], tuple[ASPath, ...]]:
+        """Identity-stable vocab tuples, refreshed only if a vocab grew."""
+        if len(self._locations_tuple) != len(self._locations):
+            self._locations_tuple = tuple(self._locations)
+        if len(self._middles_tuple) != len(self._middles):
+            self._middles_tuple = tuple(self._middles)
+        return self._locations_tuple, self._middles_tuple
+
+    def pair_key(self, code: int) -> tuple[str, ASPath]:
+        """Decode a :meth:`QuartetBatch.pair_codes` composite (cached).
+
+        Valid for any batch this generator produced: the vocabularies are
+        append-only, so a code means the same pair in every bucket.
+        """
+        key = self._pair_key_cache.get(code)
+        if key is None:
+            locations, middles = self._vocab_tuples()
+            key = (
+                locations[code >> PAIR_SHIFT],
+                middles[code & ((1 << PAIR_SHIFT) - 1)],
+            )
+            self._pair_key_cache[code] = key
+        return key
 
     def _middle_code(self, middle: ASPath) -> int:
         code = self._middle_codes.get(middle)
@@ -219,25 +256,130 @@ class BatchQuartetGenerator:
             self._amp_cache[day] = amps
         return amps
 
+    def _ensure_fault_tables(self) -> None:
+        """Per-slot/per-segment code arrays backing `_applies_vec`.
+
+        Everything :meth:`Fault.applies_to` branches on becomes a small
+        integer column: location code, CRC bucket of the /24 (the
+        ``covers_prefix`` hash), client AS, middle-path code, and a code
+        into a reverse-middle vocabulary (-1 where the slot has none).
+        Per fault the answer is then vocabulary-sized Python work plus
+        NumPy gathers instead of a per-segment interpreted loop.
+        """
+        if self._fault_tables_built:
+            return
+        scenario = self.scenario
+        n_slots = len(self.loc_idx)
+        n_segments = len(self._seg_total)
+        counts = np.diff(np.append(self._seg_offsets, n_segments))
+        self._seg_slot = np.repeat(self._churn_slots, counts)
+        self._slot_pfx_bucket = np.fromiter(
+            (
+                zlib.crc32(int(p).to_bytes(3, "big")) % 1000
+                for p in self.prefix24.tolist()
+            ),
+            dtype=np.int64,
+            count=n_slots,
+        )
+        self._loc_code_map = {
+            loc: code for code, loc in enumerate(self._locations)
+        }
+        rev_codes: dict[ASPath, int] = {}
+        rev_paths: list[ASPath] = []
+        slot_rev = np.full(n_slots, -1, dtype=np.int64)
+        for i in range(n_slots):
+            reverse = scenario._slot_reverse_middle[i]  # noqa: SLF001
+            if reverse is not None:
+                code = rev_codes.get(reverse)
+                if code is None:
+                    code = rev_codes.setdefault(reverse, len(rev_codes))
+                    rev_paths.append(reverse)
+                slot_rev[i] = code
+        self._rev_codes = rev_codes
+        self._rev_paths = rev_paths
+        self._slot_rev_code = slot_rev
+        self._fault_tables_built = True
+
+    def _member_of(
+        self, cache: dict[int, np.ndarray], vocab: list[ASPath], asn: int
+    ) -> np.ndarray:
+        """Per-vocabulary-entry membership of ``asn`` (cached per AS)."""
+        member = cache.get(asn)
+        if member is None or len(member) != len(vocab):
+            member = np.fromiter(
+                (asn in path for path in vocab), dtype=bool, count=len(vocab)
+            )
+            cache[asn] = member
+        return member
+
+    def _applies_vec(
+        self,
+        fault: Fault,
+        loc_code: np.ndarray,
+        pfx_bucket: np.ndarray,
+        prefix24: np.ndarray,
+        client_asn: np.ndarray,
+        mid_code: np.ndarray,
+        rev_code: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`Fault.applies_to` over parallel code arrays."""
+        target = fault.target
+        if target.kind is SegmentKind.CLOUD:
+            code = self._loc_code_map.get(target.location_id, -1)
+            mask = loc_code == code
+            if target.affected_fraction < 1.0:
+                mask = mask & (pfx_bucket < target.affected_fraction * 1000)
+            return mask
+        if target.kind is SegmentKind.MIDDLE:
+            if target.direction is Direction.REVERSE:
+                if not self._rev_paths:
+                    return np.zeros(len(loc_code), dtype=bool)
+                member = self._member_of(
+                    self._rev_member, self._rev_paths, target.asn
+                )
+                mask = (rev_code >= 0) & member[np.maximum(rev_code, 0)]
+                if target.path_scope is not None:
+                    scope = self._rev_codes.get(target.path_scope, -1)
+                    mask = mask & (rev_code == scope)
+                return mask
+            if not self._middles:
+                return np.zeros(len(loc_code), dtype=bool)
+            member = self._member_of(self._mid_member, self._middles, target.asn)
+            mask = member[mid_code]
+            if target.path_scope is not None:
+                scope = self._middle_codes.get(target.path_scope, -1)
+                mask = mask & (mid_code == scope)
+            return mask
+        # CLIENT
+        mask = client_asn == target.asn
+        if target.prefixes is not None:
+            mask = mask & np.isin(
+                prefix24,
+                np.fromiter(
+                    target.prefixes, dtype=np.int64, count=len(target.prefixes)
+                ),
+            )
+        return mask
+
     def _fault_mask(self, fault: Fault) -> np.ndarray:
         """Which static slots the fault applies to (the static path makes
         the answer time-independent; churn slots use the per-segment
         table)."""
         mask = self._fault_masks.get(fault.fault_id)
         if mask is None:
-            scenario = self.scenario
-            slots = scenario.world.slots
-            mask = np.zeros(len(slots), dtype=bool)
-            for i in np.nonzero(self.static_valid)[0].tolist():
-                slot = slots[i]
-                timeline = scenario._slot_timelines[i]  # noqa: SLF001
-                mask[i] = fault.applies_to(
-                    slot.location.location_id,
-                    timeline[1][0],
-                    slot.client.prefix24,
-                    slot.client.asn,
-                    scenario._slot_reverse_middle[i],  # noqa: SLF001
+            self._ensure_fault_tables()
+            mask = (
+                self._applies_vec(
+                    fault,
+                    self.loc_idx,
+                    self._slot_pfx_bucket,
+                    self.prefix24,
+                    self.client_asn,
+                    self.static_middle_idx,
+                    self._slot_rev_code,
                 )
+                & self.static_valid
+            )
             self._fault_masks[fault.fault_id] = mask
         return mask
 
@@ -245,22 +387,20 @@ class BatchQuartetGenerator:
         """Per churn *segment*, whether the fault applies to its path."""
         applies = self._fault_seg_applies.get(fault.fault_id)
         if applies is None:
-            scenario = self.scenario
-            world = scenario.world
-            applies = np.zeros(len(self._seg_total), dtype=bool)
-            for k, i in enumerate(self._churn_slots.tolist()):
-                slot = world.slots[int(i)]
-                reverse_middle = scenario._slot_reverse_middle[int(i)]  # noqa: SLF001
-                offset = int(self._seg_offsets[k])
-                for j, path in enumerate(self._churn_paths[k]):
-                    if path is not None:
-                        applies[offset + j] = fault.applies_to(
-                            slot.location.location_id,
-                            path,
-                            slot.client.prefix24,
-                            slot.client.asn,
-                            reverse_middle,
-                        )
+            self._ensure_fault_tables()
+            s = self._seg_slot
+            applies = (
+                self._applies_vec(
+                    fault,
+                    self.loc_idx[s],
+                    self._slot_pfx_bucket[s],
+                    self.prefix24[s],
+                    self.client_asn[s],
+                    self._seg_middle,
+                    self._slot_rev_code[s],
+                )
+                & self._seg_valid
+            )
             self._fault_seg_applies[fault.fault_id] = applies
         return applies
 
@@ -326,6 +466,7 @@ class BatchQuartetGenerator:
 
         keep = np.nonzero(valid)[0]
         slots_kept = active[keep]
+        locations, middles = self._vocab_tuples()
         return QuartetBatch(
             time=np.full(len(keep), time, dtype=np.int64),
             prefix24=self.prefix24[slots_kept],
@@ -335,9 +476,9 @@ class BatchQuartetGenerator:
             users=self.users[slots_kept],
             client_asn=self.client_asn[slots_kept],
             location_index=self.loc_idx[slots_kept],
-            locations=tuple(self._locations),
+            locations=locations,
             middle_index=middle_idx[keep],
-            middles=tuple(self._middles),
+            middles=middles,
             region_index=self.region_idx[slots_kept],
             regions=self._regions,
         )

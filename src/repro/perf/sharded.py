@@ -14,24 +14,29 @@ and alerting all run in the parent via the regular
 
 Workers draw each bucket's quartets from a ``(seed, bucket)``-seeded
 generator — the same scheme as ``BlameItPipeline(rng_per_bucket=True)``
-— and run the vectorized passive phase, so a sharded run's blame counts
-are byte-identical to the sequential scalar pipeline's.
+— and run the vectorized passive phase; summaries travel as NumPy
+columns (a :class:`~repro.core.blame.BlameResultBatch` plus composite
+pair-code arrays), so a sharded run's blame counts are byte-identical
+to the sequential pipeline's.
 
-The expected-RTT table is snapshotted once at the start of the run:
-sharded runs do not learn online (pass ``fixed_table`` or a pre-warmed
-learner, as the month-scale benches do).
+The expected-RTT table is snapshotted once at the start of the run —
+the mid-run daily refresh of the sequential pipeline does not happen
+(pass ``fixed_table`` or a pre-warmed learner, as the month-scale
+benches do, for byte-identical multi-day runs). Without a fixed table
+the fold still feeds the learner from shipped columns in bucket order,
+leaving it in the same end-of-run state as the sequential loop.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time as time_mod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.chaos import ChaosWorkerCrash, FaultPlan, inject_batch, sanitize_batch
-from repro.core.blame import BlameResult
+from repro.core.blame import BlameResult, BlameResultBatch
 from repro.core.config import BlameItConfig
 from repro.core.passive import PassiveLocalizer
 from repro.core.pipeline import BlameItPipeline, PipelineReport
@@ -47,53 +52,86 @@ from repro.sim.scenario import Scenario
 
 @dataclass(slots=True)
 class BucketSummary:
-    """Everything the parent fold needs from one worker-processed bucket."""
+    """Everything the parent fold needs from one worker-processed bucket.
+
+    Entirely columnar: blame results travel as a
+    :class:`~repro.core.blame.BlameResultBatch` (bad rows stay NumPy
+    columns until the fold materializes records for the trackers),
+    per-path user counts and new probe targets as composite-code arrays.
+    Pair codes are comparable across shards because every shard runner's
+    :class:`~repro.perf.batch.BatchQuartetGenerator` builds the same
+    (fully-populated, append-only) vocabularies from the same scenario.
+
+    Attributes:
+        time: Bucket index.
+        n_quartets: Post-sanitize quartet count (pre sample-gate).
+        blames: The bucket's passive verdicts, columnar.
+        pair_codes: Unique ⟨location, middle⟩ composite codes, in
+            first-occurrence row order — the order the sequential fold
+            observes client counts and (crucially, for engine-RNG parity)
+            seeds new targets.
+        pair_users: Active-user sums aligned with ``pair_codes``.
+        new_mask: Pairs first seen by this shard at this bucket, aligned
+            with ``pair_codes``.
+        new_prefixes: Each pair's first-row /24 this bucket, aligned with
+            ``pair_codes`` (the fold reads it where ``new_mask`` is set —
+            the same /24 the scalar loop's first ``register_target`` call
+            for the pair would carry).
+        learn: Post-sanitize learner columns ``(time, mobile,
+            mean_rtt_ms, location_index, middle_index)`` when the fold
+            learns online (no ``fixed_table``), else None. Vocabularies
+            ride along on ``blames.batch``.
+    """
 
     time: Timestamp
     n_quartets: int
-    results: list[BlameResult]
-    path_users: dict[tuple[str, ASPath], int]
-    new_targets: list[tuple[str, ASPath, int]] = field(default_factory=list)
+    blames: BlameResultBatch
+    pair_codes: np.ndarray
+    pair_users: np.ndarray
+    new_mask: np.ndarray
+    new_prefixes: np.ndarray
+    learn: tuple[np.ndarray, ...] | None = None
 
 
 def _summarize_bucket(
     time: Timestamp,
     batch: QuartetBatch,
-    results: list[BlameResult],
-    seen_targets: set[int],
+    blames: BlameResultBatch,
+    seen_pairs: set[int],
+    want_learn: bool,
 ) -> BucketSummary:
     """Compress a bucket's batch into the cross-process summary."""
-    n_loc = len(batch.locations)
-    n_mid = len(batch.middles)
-    combined = batch.location_index * n_mid + batch.middle_index
-    sums = np.bincount(combined, weights=batch.users, minlength=n_loc * n_mid)
-    used = np.nonzero(sums)[0]
-    path_users = {
-        (batch.locations[key // n_mid], batch.middles[key % n_mid]): int(
-            sums[key]
+    codes = batch.pair_codes()
+    unique, first_idx, inverse = np.unique(
+        codes, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_idx, kind="stable")
+    pair_codes = unique[order]
+    pair_users = np.bincount(inverse, weights=batch.users).astype(np.int64)[order]
+    new_mask = np.fromiter(
+        (code not in seen_pairs for code in pair_codes.tolist()),
+        dtype=bool,
+        count=len(pair_codes),
+    )
+    seen_pairs.update(pair_codes[new_mask].tolist())
+    learn = None
+    if want_learn:
+        learn = (
+            batch.time,
+            batch.mobile,
+            batch.mean_rtt_ms,
+            batch.location_index,
+            batch.middle_index,
         )
-        for key in used.tolist()
-    }
-    new_targets: list[tuple[str, ASPath, int]] = []
-    # One sortable composite key per ⟨location, middle, prefix⟩ triple
-    # (prefixes fit in 32 bits; the pair code in the rest of an int64).
-    composite = (batch.location_index * n_mid + batch.middle_index) * (
-        1 << 32
-    ) + batch.prefix24
-    for key in np.unique(composite).tolist():
-        if key not in seen_targets:
-            seen_targets.add(key)
-            pair, prefix = divmod(key, 1 << 32)
-            loc, mid = divmod(pair, n_mid)
-            new_targets.append(
-                (batch.locations[loc], batch.middles[mid], prefix)
-            )
     return BucketSummary(
         time=time,
         n_quartets=len(batch),
-        results=results,
-        path_users=path_users,
-        new_targets=new_targets,
+        blames=blames,
+        pair_codes=pair_codes,
+        pair_users=pair_users,
+        new_mask=new_mask,
+        new_prefixes=batch.prefix24[first_idx[order]],
+        learn=learn,
     )
 
 
@@ -108,6 +146,7 @@ class _ShardRunner:
         seed: int,
         metrics_enabled: bool = False,
         chaos: FaultPlan | None = None,
+        want_learn: bool = False,
     ) -> None:
         self.generator = BatchQuartetGenerator(scenario)
         self.metrics_enabled = metrics_enabled
@@ -115,6 +154,7 @@ class _ShardRunner:
         self.table = table
         self.seed = seed
         self.chaos = chaos if chaos is not None and chaos.enabled else None
+        self.want_learn = want_learn
 
     def run_shard(
         self, bounds: tuple[int, int], attempt: int = 0
@@ -145,7 +185,7 @@ class _ShardRunner:
             if delay_ms > 0:
                 metrics.counter("chaos.shard.slow").inc()
                 time_mod.sleep(delay_ms / 1000.0)
-        seen_targets: set[int] = set()
+        seen_pairs: set[int] = set()
         summaries: list[BucketSummary] = []
         for time in range(start, end):
             rng = np.random.default_rng((self.seed, time))
@@ -154,9 +194,9 @@ class _ShardRunner:
             if chaos is not None:
                 batch = inject_batch(chaos, batch, metrics)
             batch = sanitize_batch(batch, metrics)
-            results = self.localizer.assign_batch(batch, self.table)
+            blames = self.localizer.assign_batch_columnar(batch, self.table)
             summaries.append(
-                _summarize_bucket(time, batch, results, seen_targets)
+                _summarize_bucket(time, batch, blames, seen_pairs, self.want_learn)
             )
         return summaries, metrics.snapshot() if metrics.enabled else None
 
@@ -171,10 +211,11 @@ def _init_worker(
     seed: int,
     metrics_enabled: bool,
     chaos: FaultPlan | None = None,
+    want_learn: bool = False,
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = _ShardRunner(
-        scenario, config, table, seed, metrics_enabled, chaos
+        scenario, config, table, seed, metrics_enabled, chaos, want_learn
     )
 
 
@@ -263,12 +304,22 @@ class ShardedPipeline:
         # The pipeline normalizes disabled plans to None; share its view.
         self.chaos = self.pipeline.chaos
         self.seed = seed
+        # Without a fixed table the fold feeds the learner from shipped
+        # columns (same values, same order as the sequential loop), so
+        # the learner leaves the run in the identical state — though the
+        # run itself still uses the start-of-run table snapshot.
+        self._want_learn = fixed_table is None
 
     # -- delegation ----------------------------------------------------
 
     @property
     def scenario(self) -> Scenario:
         return self.pipeline.scenario
+
+    @property
+    def engine(self):
+        """The fold-side traceroute engine (probes run in the fold)."""
+        return self.pipeline.engine
 
     def warmup(self, start: Timestamp, end: Timestamp, stride: int = 6) -> None:
         """Train the learner/predictors (single-process, see pipeline)."""
@@ -313,7 +364,7 @@ class ShardedPipeline:
             if inline_runner is None:
                 inline_runner = _ShardRunner(
                     self.scenario, self.config, table, self.seed, enabled,
-                    self.chaos,
+                    self.chaos, self._want_learn,
                 )
             return inline_runner
 
@@ -333,7 +384,7 @@ class ShardedPipeline:
                     initializer=_init_worker,
                     initargs=(
                         self.scenario, self.config, table, self.seed, enabled,
-                        self.chaos,
+                        self.chaos, self._want_learn,
                     ),
                 )
             except (OSError, multiprocessing.ProcessError):
@@ -398,18 +449,17 @@ class ShardedPipeline:
 
         config = self.config
         window_results: list[BlameResult] = []
+        # Pair-code → ⟨location, middle⟩ decode cache, shared across
+        # shards (every shard's generator assigns identical codes).
+        decode: dict[int, tuple[str, ASPath]] = {}
         for time in range(start, end):
             summary = by_time.get(time)
             metrics.counter("pipeline.buckets").inc()
             if summary is not None:
                 report.total_quartets += summary.n_quartets
                 metrics.counter("pipeline.quartets").inc(summary.n_quartets)
-                for loc, mid, prefix in summary.new_targets:
-                    if pipeline.background.register_target(loc, mid, prefix):
-                        pipeline.background.seed_target(loc, mid, prefix, time)
-                for key, users in summary.path_users.items():
-                    pipeline.client_predictor.observe(key, time, users)
-                window_results.extend(summary.results)
+                self._fold_summary(time, summary, decode)
+                window_results.extend(summary.blames.to_results())
             pipeline.background.run_bucket(time)
             for update in self.scenario.updates_between(time, time + 1):
                 pipeline.background.on_bgp_update(update)
@@ -422,3 +472,45 @@ class ShardedPipeline:
             pipeline._process_results(end - 1, window_results, report)  # noqa: SLF001
         pipeline._finalize(report)  # noqa: SLF001
         return report
+
+    def _fold_summary(
+        self,
+        time: Timestamp,
+        summary: BucketSummary,
+        decode: dict[int, tuple[str, ASPath]],
+    ) -> None:
+        """Replay one bucket's shipped columns through the parent state.
+
+        Order matters twice: learning precedes the pair walk (as in the
+        sequential loop), and pairs are walked in first-occurrence row
+        order so new-target seed probes draw engine RNG in the sequential
+        pipeline's sequence. ``register_target`` re-checks novelty — a
+        pair another shard (or a churn trigger) already registered seeds
+        nothing, exactly like the sequential fold's re-encounters.
+        """
+        pipeline = self.pipeline
+        batch = summary.blames.batch
+        if summary.learn is not None:
+            t, mobile, rtt, loc_idx, mid_idx = summary.learn
+            with self.metrics.span("phase.learning"):
+                pipeline.learner.observe_columns(
+                    t, mobile, rtt, loc_idx, batch.locations,
+                    mid_idx, batch.middles,
+                )
+        new_mask = summary.new_mask.tolist()
+        prefixes = summary.new_prefixes.tolist()
+        keys = []
+        for code in summary.pair_codes.tolist():
+            key = decode.get(code)
+            if key is None:
+                key = batch.pair_key(code)
+                decode[code] = key
+            keys.append(key)
+        pipeline.client_predictor.observe_bucket(
+            keys, time, summary.pair_users.tolist()
+        )
+        for i, key in enumerate(keys):
+            if new_mask[i] and pipeline.background.register_target(
+                key[0], key[1], prefixes[i]
+            ):
+                pipeline.background.seed_target(key[0], key[1], prefixes[i], time)

@@ -322,6 +322,7 @@ class Scenario:
         self._timelines = {}
         self._base_paths: dict[tuple[str, Prefix24], ASPath | None] = {}
         self._active_cache: tuple[Timestamp, tuple[Fault, ...]] | None = None
+        self._faults_by_day: dict[int, tuple[Fault, ...]] = {}
         self._diurnal_cache: dict[tuple[str, bool], np.ndarray] = {}
         self._rng = np.random.default_rng(world.params.seed + 1)
         self._activity_matrix: np.ndarray | None = None
@@ -620,10 +621,24 @@ class Scenario:
     # -- faults -------------------------------------------------------
 
     def active_faults(self, time: Timestamp) -> tuple[Fault, ...]:
-        """Faults active in bucket ``time`` (cached per bucket)."""
+        """Faults active in bucket ``time`` (cached per bucket).
+
+        Scans only the faults overlapping the bucket's day (a small
+        per-day index built on demand) instead of the full schedule.
+        """
         if self._active_cache is not None and self._active_cache[0] == time:
             return self._active_cache[1]
-        active = tuple(f for f in self.faults if f.is_active(time))
+        day = time // BUCKETS_PER_DAY
+        day_faults = self._faults_by_day.get(day)
+        if day_faults is None:
+            day_start = day * BUCKETS_PER_DAY
+            day_faults = tuple(
+                f
+                for f in self.faults
+                if f.start < day_start + BUCKETS_PER_DAY and f.end > day_start
+            )
+            self._faults_by_day[day] = day_faults
+        active = tuple(f for f in day_faults if f.is_active(time))
         self._active_cache = (time, active)
         return active
 

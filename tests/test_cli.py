@@ -220,3 +220,42 @@ class TestMetricsJson:
         code = main(["diagnose", *FAST, "--start", "150", "--end", "160"])
         assert code == 0
         assert "phase seconds" not in capsys.readouterr().out
+
+
+class TestWorkersFlag:
+    def test_diagnose_with_workers(self, capsys):
+        code = main(
+            ["diagnose", *FAST, "--start", "150", "--end", "200",
+             "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blame mix" in out
+        assert "probes:" in out
+
+    def test_workers_must_be_positive(self, capsys):
+        for bad in ("0", "-3"):
+            assert main(
+                ["diagnose", *FAST, "--start", "150", "--end", "160",
+                 "--workers", bad]
+            ) == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error:")
+            assert "--workers must be >= 1" in err
+
+    def test_workers_with_metrics_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_snapshot
+
+        out_file = tmp_path / "metrics.json"
+        code = main(
+            ["diagnose", *FAST, "--start", "150", "--end", "200",
+             "--workers", "1", "--metrics-json", str(out_file)]
+        )
+        assert code == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        snapshot = json.loads(out_file.read_text(encoding="utf-8"))
+        validate_snapshot(snapshot)
+        assert "phase.learning" in snapshot["spans"]
+        assert "phase.generation" in snapshot["spans"]

@@ -104,6 +104,46 @@ class TestShardedEquivalence:
             self._sharded(trained), with_metrics=True
         ) == report_json(self._sequential(trained), with_metrics=True)
 
+    def test_online_learning_byte_identical(self, small_world):
+        """No fixed table: the fold feeds the learner from shipped
+        columns, so report AND end-of-run learner state match the
+        sequential pipeline (window within one day — the sharded driver
+        snapshots the table once, with no daily refresh)."""
+
+        def run(sharded: bool):
+            # Fresh scenario per run: warmup draws from the scenario's
+            # shared RNG stream, so the pipelines must not share one.
+            scenario = Scenario.from_world(small_world)
+            if sharded:
+                pipeline = ShardedPipeline(
+                    scenario,
+                    config=self._config(vectorized_passive=True),
+                    seed=11,
+                    n_workers=2,
+                    buckets_per_shard=13,
+                )
+            else:
+                pipeline = BlameItPipeline(
+                    scenario, config=self._config(), seed=11,
+                    rng_per_bucket=True,
+                )
+            pipeline.warmup(0, 96, stride=4)
+            report = pipeline.run(100, 160)
+            learner = (pipeline.pipeline if sharded else pipeline).learner
+            return report, learner
+
+        got, got_learner = run(sharded=True)
+        expected, expected_learner = run(sharded=False)
+        assert report_json(got) == report_json(expected)
+        for store_got, store_exp in (
+            (got_learner._cloud, expected_learner._cloud),
+            (got_learner._middle, expected_learner._middle),
+        ):
+            assert list(store_got) == list(store_exp)
+            for key in store_exp:
+                assert store_got[key].values == store_exp[key].values
+                assert store_got[key].seen == store_exp[key].seen
+
     def test_crash_plus_retry_byte_identical(self, trained):
         """Every shard's worker crashes once; the per-shard retry recovers
         each, and the report still matches the sequential run exactly."""

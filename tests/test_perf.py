@@ -117,6 +117,28 @@ class TestQuartetBatch:
         assert len(batch) == 0
         assert batch.to_quartets() == []
 
+    def test_empty_bucket_round_trips_through_columnar_ops(self):
+        """Empty buckets flow through every columnar hot-path op."""
+        batch = QuartetBatch.from_quartets([])
+        assert len(batch.pair_codes()) == 0
+        taken = batch.take(np.array([], dtype=np.int64))
+        assert len(taken) == 0 and taken.to_quartets() == []
+
+    def test_all_rows_sanitized_round_trip(self):
+        """A batch whose rows are all invalid sanitizes to an empty batch
+        that still round-trips (the columnar pipeline feeds such buckets
+        straight into learning and folding)."""
+        from repro.chaos.inject import sanitize_batch
+
+        quartets = [
+            q._replace(mean_rtt_ms=float("nan"))
+            for q in _random_quartets(np.random.default_rng(7), 20)
+        ]
+        clean = sanitize_batch(QuartetBatch.from_quartets(quartets))
+        assert len(clean) == 0
+        assert clean.to_quartets() == []
+        assert len(clean.pair_codes()) == 0
+
 
 class TestBatchGenerator:
     def test_matches_scalar_generation(self, small_world):

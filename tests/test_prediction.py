@@ -80,6 +80,43 @@ class TestDurationPredictor:
         probabilities = [predictor.survival_probability(0, t) for t in range(0, 60, 5)]
         assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
 
+    @given(
+        durations=st.lists(st.integers(min_value=1, max_value=200), min_size=1),
+        elapsed=st.integers(min_value=0, max_value=250),
+        additional=st.integers(min_value=0, max_value=250),
+    )
+    def test_fast_path_matches_list_scans(self, durations, elapsed, additional):
+        """The sorted-array/prefix-sum queries equal the O(n) reference.
+
+        The reference below is the pre-optimization list-scan
+        implementation, inlined; the int64 suffix sums are exact, so the
+        resulting floats must match bit-for-bit, not approximately.
+        """
+        predictor = DurationPredictor()
+        predictor.observe_all(durations)
+
+        survivors = [d for d in durations if d > elapsed]
+        if survivors:
+            expected_remaining = sum(survivors) / len(survivors) - elapsed
+        else:
+            expected_remaining = predictor.prior_mean_buckets
+        assert predictor.expected_remaining(elapsed) == expected_remaining
+
+        alive = len(survivors)
+        survive = sum(1 for d in durations if d > elapsed + additional)
+        expected_survival = survive / alive if alive else 0.0
+        assert predictor.survival_probability(elapsed, additional) == expected_survival
+
+    def test_interleaved_queries_and_observes(self):
+        """The per-pool stats cache must refresh as pools grow."""
+        predictor = DurationPredictor()
+        predictor.observe_all([5, 5, 5])
+        assert predictor.expected_remaining(0) == pytest.approx(5.0)
+        predictor.observe_all([11, 11, 11])
+        assert predictor.expected_remaining(0) == pytest.approx(8.0)
+        predictor.observe_all([9] * 10, key="k")
+        assert predictor.expected_remaining(0, key="k") == pytest.approx(9.0)
+
 
 class TestClientCountPredictor:
     def test_same_window_previous_days(self):
@@ -118,3 +155,51 @@ class TestClientCountPredictor:
             ClientCountPredictor(history_days=0)
         with pytest.raises(ValueError):
             ClientCountPredictor().observe("k", 0, -1)
+
+    def test_observe_bucket_matches_scalar(self):
+        """Bulk per-bucket observes leave identical predictable state."""
+        scalar = ClientCountPredictor(history_days=2)
+        bulk = ClientCountPredictor(history_days=2)
+        keys = [f"path-{i}" for i in range(5)]
+        for time in range(0, 6 * 288, 288 // 4):
+            counts = [(time + i * 7) % 50 for i in range(len(keys))]
+            for key, count in zip(keys, counts):
+                scalar.observe(key, time, count)
+            bulk.observe_bucket(list(keys), time, counts)
+        for key in keys + ["never-seen"]:
+            for query in range(5 * 288, 6 * 288, 53):
+                assert bulk.predict(key, query) == scalar.predict(key, query)
+
+    def test_observe_bucket_validation(self):
+        predictor = ClientCountPredictor()
+        with pytest.raises(ValueError):
+            predictor.observe_bucket(["a", "b"], 0, [3, -1])
+        # Empty bucket is a no-op: it must not advance the eviction day.
+        predictor.observe("k", 0, 7)
+        predictor.observe_bucket([], 400 * 288, [])
+        assert predictor.predict("k", 100) == pytest.approx(7.0)
+
+    def test_bounded_memory(self):
+        """Retained history is O(keys × history_days), not O(total days).
+
+        The regression this pins down: counts used to accumulate for the
+        whole run, so a month-scale simulation held every bucket it ever
+        saw. Steady-state bucket count must not grow between day 10 and
+        day 40 of continuous observation.
+        """
+        predictor = ClientCountPredictor(history_days=3)
+        keys = ["p1", "p2"]
+
+        def run_until(day_end, start=0):
+            for time in range(start, day_end * 288, 3):
+                predictor.observe_bucket(list(keys), time, [1, 2])
+
+        run_until(10)
+        buckets_at_10 = len(predictor._buckets)
+        run_until(40, start=10 * 288)
+        assert len(predictor._buckets) == buckets_at_10
+        # history_days + 1 days retained (one day of eviction slack),
+        # plus the current day being filled.
+        assert len(predictor._buckets) <= (3 + 2) * 288 / 3 + 1
+        # Predictions over the readable window are unaffected.
+        assert predictor.predict("p2", 40 * 288 - 3) == pytest.approx(2.0)

@@ -1,8 +1,9 @@
 """Tests for repro.core.thresholds: expected-RTT learning."""
 
+import numpy as np
 import pytest
 
-from repro.core.quartet import Quartet
+from repro.core.quartet import Quartet, QuartetBatch
 from repro.core.thresholds import ExpectedRTTLearner
 from repro.net.geo import Region
 
@@ -96,6 +97,87 @@ class TestLearner:
     def test_validation(self):
         with pytest.raises(ValueError):
             ExpectedRTTLearner(history_days=0)
+
+
+def _assert_learners_identical(a: ExpectedRTTLearner, b: ExpectedRTTLearner):
+    """Full-state equality: keys, reservoir contents, counts, and seeds."""
+    for store_a, store_b in ((a._cloud, b._cloud), (a._middle, b._middle)):
+        assert list(store_a) == list(store_b)  # insertion order included
+        for key in store_a:
+            assert store_a[key].values == store_b[key].values
+            assert store_a[key].seen == store_b[key].seen
+    assert a._seed == b._seed
+
+
+class TestColumnarLearner:
+    """observe_batch must be byte-identical to the scalar row loop."""
+
+    def _random_quartets(self, rng, n):
+        return [
+            _quartet(
+                time=int(rng.integers(0, 3 * 288)),
+                rtt=float(rng.uniform(10.0, 120.0)),
+                loc=f"edge-{rng.integers(0, 4)}",
+                mobile=bool(rng.integers(0, 2)),
+                middle=(int(rng.integers(10, 14)),),
+            )
+            for _ in range(n)
+        ]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batch_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        quartets = self._random_quartets(rng, 400)
+        scalar = ExpectedRTTLearner()
+        batched = ExpectedRTTLearner()
+        scalar.observe_all(quartets)
+        batched.observe_batch(QuartetBatch.from_quartets(quartets))
+        _assert_learners_identical(scalar, batched)
+
+    def test_reservoir_tie_breaking(self):
+        """Past the reservoir size, replacement draws from each
+        reservoir's own RNG stream; grouping the adds must consume those
+        streams in exactly the scalar order, so a follow-up batch on the
+        already-full reservoirs still matches value-for-value."""
+        rng = np.random.default_rng(99)
+        # One hot key so the reservoir overflows (256) within one batch.
+        hot = [
+            _quartet(time=i % 288, rtt=float(rng.uniform(10, 90)))
+            for i in range(600)
+        ]
+        scalar = ExpectedRTTLearner()
+        batched = ExpectedRTTLearner()
+        scalar.observe_all(hot)
+        batched.observe_batch(QuartetBatch.from_quartets(hot))
+        _assert_learners_identical(scalar, batched)
+        # Second round on the now-full reservoirs: every add is a
+        # replacement decision, so any RNG-stream skew would surface.
+        more = [
+            _quartet(time=i % 288, rtt=float(rng.uniform(10, 90)))
+            for i in range(300)
+        ]
+        scalar.observe_all(more)
+        batched.observe_batch(QuartetBatch.from_quartets(more))
+        _assert_learners_identical(scalar, batched)
+
+    def test_seed_allocation_order(self):
+        """New reservoirs take seeds in first-occurrence row order, cloud
+        lane before middle lane — matching the scalar loop."""
+        quartets = [
+            _quartet(time=0, loc="edge-B", middle=(20,)),
+            _quartet(time=0, loc="edge-A", middle=(21,)),
+            _quartet(time=288, loc="edge-A", middle=(20,)),  # new day
+        ]
+        scalar = ExpectedRTTLearner()
+        batched = ExpectedRTTLearner()
+        scalar.observe_all(quartets)
+        batched.observe_batch(QuartetBatch.from_quartets(quartets))
+        _assert_learners_identical(scalar, batched)
+
+    def test_empty_batch_is_noop(self):
+        learner = ExpectedRTTLearner()
+        learner.observe_batch(QuartetBatch.from_quartets([]))
+        assert learner._seed == 0 and not learner._cloud and not learner._middle
 
 
 class TestTableCache:
