@@ -14,9 +14,10 @@ from repro.chaos.inject import (
     sanitize_batch,
     sanitize_quartets,
 )
-from repro.chaos.plan import ChaosWorkerCrash, FaultPlan, uniform, uniforms
+from repro.chaos.plan import ChaosKill, ChaosWorkerCrash, FaultPlan, uniform, uniforms
 
 __all__ = [
+    "ChaosKill",
     "ChaosWorkerCrash",
     "FaultPlan",
     "inject_batch",

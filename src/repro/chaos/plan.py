@@ -27,7 +27,7 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
-__all__ = ["ChaosWorkerCrash", "FaultPlan"]
+__all__ = ["ChaosKill", "ChaosWorkerCrash", "FaultPlan"]
 
 _GAMMA = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -76,6 +76,16 @@ class ChaosWorkerCrash(RuntimeError):
     """An injected shard-worker crash (picklable across process pools)."""
 
 
+class ChaosKill(RuntimeError):
+    """An injected whole-process kill at a planned bucket.
+
+    Unlike :class:`ChaosWorkerCrash` (which the sharded driver's retry
+    absorbs), a kill terminates the run itself — it models the machine
+    dying mid-run. Pipelines raise it *after* writing any due checkpoint
+    so a warm restart can resume from the kill point.
+    """
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Seeded, per-fault-kind rates describing what to break.
@@ -114,6 +124,13 @@ class FaultPlan:
         drop_expected_table: Start the run with an *empty* expected-RTT
             table — Algorithm 1 must degrade to Insufficient blames
             instead of crashing.
+        kill_at_bucket: Raise :class:`ChaosKill` when the run reaches
+            this bucket (after any checkpoint due at it is written), so
+            the checkpoint/resume path can be exercised. The sharded
+            driver checks at day-boundary segment starts; the sequential
+            pipeline checks every bucket. A resumed run starting *at*
+            the kill bucket does not re-kill, so kill-then-resume with
+            an unchanged plan makes progress.
         window: Optional ``[start, end)`` bucket range outside which
             time-keyed faults (quartets, probes) do not fire; None means
             everywhere.
@@ -133,6 +150,7 @@ class FaultPlan:
     baseline_stale_rate: float = 0.0
     baseline_stale_age_buckets: int = 288
     drop_expected_table: bool = False
+    kill_at_bucket: int | None = None
     window: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
@@ -153,6 +171,8 @@ class FaultPlan:
             raise ValueError("slow_shard_ms must be >= 0")
         if self.baseline_stale_age_buckets < 1:
             raise ValueError("baseline_stale_age_buckets must be >= 1")
+        if self.kill_at_bucket is not None and self.kill_at_bucket < 0:
+            raise ValueError("kill_at_bucket must be >= 0")
         if self.window is not None and self.window[0] >= self.window[1]:
             raise ValueError("window must be a non-empty [start, end) range")
 
@@ -187,7 +207,7 @@ class FaultPlan:
     @property
     def enabled(self) -> bool:
         """Whether any fault kind can fire at all."""
-        if self.drop_expected_table:
+        if self.drop_expected_table or self.kill_at_bucket is not None:
             return True
         return any(
             getattr(self, f.name) > 0

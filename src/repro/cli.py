@@ -143,6 +143,28 @@ def build_parser() -> argparse.ArgumentParser:
         "smoke plan: quartet loss/corruption, probe timeouts, missing and "
         "stale baselines) seeded by SEED; same seed, same faults",
     )
+    p_diag.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="checkpoint pipeline state to DIR at every day boundary "
+        "(switches the sequential pipeline to per-bucket quartet RNG, "
+        "the seeding scheme resume depends on)",
+    )
+    p_diag.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="resume from the newest checkpoint in DIR (implies "
+        "--checkpoint-dir DIR; warmup is skipped — the checkpoint "
+        "already carries the warmed state)",
+    )
+    p_diag.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="BUCKET",
+        help="chaos: kill the run when it reaches BUCKET, after any "
+        "day-boundary checkpoint there; the process exits with code 3",
+    )
 
     p_val = sub.add_parser(
         "validate", help="generate labelled incidents and score localization"
@@ -243,6 +265,17 @@ def _cmd_diagnose(args) -> int:
     workers = getattr(args, "workers", None)
     if workers is not None and workers < 1:
         return _fail(f"--workers must be >= 1, got {workers}")
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume_dir = getattr(args, "resume", None)
+    if checkpoint_dir and resume_dir and checkpoint_dir != resume_dir:
+        return _fail(
+            "--checkpoint-dir and --resume must name the same directory"
+        )
+    if resume_dir:
+        checkpoint_dir = resume_dir
+    kill_at = getattr(args, "kill_at", None)
+    if kill_at is not None and kill_at < 0:
+        return _fail(f"--kill-at must be >= 0, got {kill_at}")
     if getattr(args, "scenario", None):
         from repro.io import load_scenario
 
@@ -271,6 +304,34 @@ def _cmd_diagnose(args) -> int:
 
         chaos = FaultPlan.smoke(args.chaos)
         print(f"chaos: smoke fault plan enabled (seed {args.chaos})")
+    if kill_at is not None:
+        import dataclasses
+
+        from repro.chaos import FaultPlan
+
+        chaos = dataclasses.replace(
+            chaos or FaultPlan(), kill_at_bucket=kill_at
+        )
+    store = None
+    if checkpoint_dir:
+        import pathlib
+
+        from repro.store import CheckpointStore, StoreError
+
+        if resume_dir and not pathlib.Path(resume_dir).is_dir():
+            return _fail(
+                f"cannot resume: no checkpoint directory at {resume_dir!r}"
+            )
+        try:
+            store = CheckpointStore(checkpoint_dir)
+            if resume_dir and store.latest_time() is None:
+                return _fail(
+                    f"cannot resume: no checkpoint found in {resume_dir!r}"
+                )
+        except StoreError as exc:
+            return _fail(
+                f"cannot open checkpoint store at {checkpoint_dir!r}: {exc}"
+            )
     if workers is not None:
         from repro.perf.sharded import ShardedPipeline
 
@@ -280,14 +341,43 @@ def _cmd_diagnose(args) -> int:
             n_workers=workers,
             metrics=metrics,
             chaos=chaos,
+            store=store,
+            warm_start=bool(resume_dir),
         )
     else:
         pipeline = BlameItPipeline(
-            scenario, config=config, metrics=metrics, chaos=chaos
+            scenario,
+            config=config,
+            metrics=metrics,
+            chaos=chaos,
+            rng_per_bucket=store is not None,
+            store=store,
+            warm_start=bool(resume_dir),
         )
-    warmup_end = min(args.start, 288)
-    pipeline.warmup(0, warmup_end, stride=3)
-    report = pipeline.run(args.start, end)
+    if resume_dir:
+        print(f"resuming from checkpoint in {resume_dir}")
+    else:
+        warmup_end = min(args.start, 288)
+        pipeline.warmup(0, warmup_end, stride=3)
+    from repro.chaos import ChaosKill
+
+    try:
+        report = pipeline.run(args.start, end)
+    except ChaosKill as exc:
+        if store is not None:
+            store.close()
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 3
+    except Exception as exc:
+        from repro.store import StoreError
+
+        if isinstance(exc, StoreError):
+            if store is not None:
+                store.close()
+            return _fail(f"cannot use checkpoint state: {exc}")
+        raise
+    if store is not None:
+        store.close()
     rows = [
         [str(blame), count, f"{100 * fraction:.1f}%"]
         for blame, fraction in report.blame_fractions().items()

@@ -23,6 +23,7 @@ import numpy as np
 from repro.net.addressing import Prefix24
 from repro.net.asn import ASPath
 from repro.net.bgp import Timestamp
+from repro.rngstate import rng_from_state_dict, rng_state_dict
 
 
 class TracerouteView(NamedTuple):
@@ -93,6 +94,26 @@ class TracerouteResult:
     def end_to_end_ms(self) -> float:
         """RTT to the final hop."""
         return self.cumulative_ms[-1]
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot; floats round-trip exactly (repr-based)."""
+        return {
+            "location_id": self.location_id,
+            "prefix24": self.prefix24,
+            "time": self.time,
+            "path": list(self.path),
+            "cumulative_ms": list(self.cumulative_ms),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "TracerouteResult":
+        return cls(
+            location_id=state["location_id"],
+            prefix24=int(state["prefix24"]),
+            time=int(state["time"]),
+            path=tuple(int(asn) for asn in state["path"]),
+            cumulative_ms=tuple(float(ms) for ms in state["cumulative_ms"]),
+        )
 
 
 class TracerouteEngine:
@@ -184,3 +205,24 @@ class TracerouteEngine:
         self.probes_issued = 0
         self.reverse_probes_issued = 0
         self.probes_by_location = {}
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: counters plus the exact noise-RNG state,
+        so a restored engine draws the same measurement noise the
+        uninterrupted run would have."""
+        return {
+            "probes_issued": self.probes_issued,
+            "reverse_probes_issued": self.reverse_probes_issued,
+            "probes_by_location": dict(self.probes_by_location),
+            "rng": rng_state_dict(self.rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict` (the oracle is not state)."""
+        self.probes_issued = int(state["probes_issued"])
+        self.reverse_probes_issued = int(state["reverse_probes_issued"])
+        self.probes_by_location = {
+            location: int(count)
+            for location, count in state["probes_by_location"].items()
+        }
+        self.rng = rng_from_state_dict(state["rng"])

@@ -77,6 +77,39 @@ class MiddleIssue:
         """A stable target /24 for traceroutes into this issue."""
         return min(self.prefixes)
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot. ``users_by_bucket`` serializes as pairs —
+        its keys are ints, which a JSON dict would silently coerce to
+        strings."""
+        return {
+            "location_id": self.location_id,
+            "middle": list(self.middle),
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "prefixes": sorted(self.prefixes),
+            "users_by_bucket": [
+                [time, users] for time, users in self.users_by_bucket.items()
+            ],
+            "probed": self.probed,
+            "serial": self.serial,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MiddleIssue":
+        return cls(
+            location_id=state["location_id"],
+            middle=tuple(int(asn) for asn in state["middle"]),
+            first_seen=int(state["first_seen"]),
+            last_seen=int(state["last_seen"]),
+            prefixes={int(prefix) for prefix in state["prefixes"]},
+            users_by_bucket={
+                int(time): int(users)
+                for time, users in state["users_by_bucket"]
+            },
+            probed=bool(state["probed"]),
+            serial=int(state["serial"]),
+        )
+
 
 class IssueTracker:
     """Stitches per-bucket middle blames into ongoing issues.
@@ -162,6 +195,27 @@ class IssueTracker:
     def _close(self, issue: MiddleIssue) -> None:
         self.closed_issues.append(issue)
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot; open issues keep their dict order (probe
+        ranking ties break on key order, and the order issues are walked
+        feeds engine-RNG consumption downstream)."""
+        return {
+            "next_serial": self._next_serial,
+            "open": [issue.state_dict() for issue in self.open_issues.values()],
+            "closed": [issue.state_dict() for issue in self.closed_issues],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`; replaces all current issues."""
+        self._next_serial = int(state["next_serial"])
+        self.open_issues = {}
+        for encoded in state["open"]:
+            issue = MiddleIssue.from_state_dict(encoded)
+            self.open_issues[issue.key] = issue
+        self.closed_issues = [
+            MiddleIssue.from_state_dict(encoded) for encoded in state["closed"]
+        ]
+
 
 @dataclass
 class ProbeBudget:
@@ -195,6 +249,20 @@ class ProbeBudget:
             return False
         self._used[location_id] = used + 1
         return True
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (current-window usage plus denial totals)."""
+        return {
+            "used": [[location, count] for location, count in self._used.items()],
+            "denied": self.denied,
+            "denied_total": self.denied_total,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self._used = {location: int(count) for location, count in state["used"]}
+        self.denied = int(state["denied"])
+        self.denied_total = int(state["denied_total"])
 
 
 @dataclass(frozen=True, slots=True)

@@ -126,6 +126,43 @@ class BaselineStore:
     def __len__(self) -> int:
         return len(self._by_middle)
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of both indexes.
+
+        Both are serialized verbatim (the same results appear under a
+        middle key and a prefix key; sharing is not reconstructed —
+        lookups never compare identities). Key and history order are
+        preserved: ``_latest`` walks histories newest-first.
+
+        Works unchanged for :class:`ReverseBaselineStore`: its keys are
+        ⟨"", full path⟩ / ⟨"", prefix⟩ pairs, the same shapes.
+        """
+        return {
+            "by_middle": [
+                [[location, list(path)], [r.state_dict() for r in history]]
+                for (location, path), history in self._by_middle.items()
+            ],
+            "by_prefix": [
+                [[location, prefix], [r.state_dict() for r in history]]
+                for (location, prefix), history in self._by_prefix.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`; replaces all current history."""
+        self._by_middle = {
+            (location, tuple(int(asn) for asn in path)): [
+                TracerouteResult.from_state_dict(r) for r in history
+            ]
+            for (location, path), history in state["by_middle"]
+        }
+        self._by_prefix = {
+            (location, int(prefix)): [
+                TracerouteResult.from_state_dict(r) for r in history
+            ]
+            for (location, prefix), history in state["by_prefix"]
+        }
+
 
 class ReverseBaselineStore(BaselineStore):
     """Baselines for client-to-cloud traceroutes.
@@ -363,3 +400,32 @@ class BackgroundProber:
     def probes_total(self) -> int:
         """All background probes issued (periodic + churn-triggered)."""
         return self.probes_periodic + self.probes_churn
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: counters plus the target registry in
+        registration order (``_find_target`` is first-match-wins over
+        that order)."""
+        return {
+            "probes_periodic": self.probes_periodic,
+            "probes_churn": self.probes_churn,
+            "targets": [
+                [location, list(path), prefix]
+                for (location, path), prefix in self._targets.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`.
+
+        Targets are replayed through :meth:`register_target` rather than
+        assigned — the per-slot schedule lists are kept bisect-sorted at
+        registration time, so replay reconstructs ``_schedule`` exactly.
+        """
+        self.probes_periodic = int(state["probes_periodic"])
+        self.probes_churn = int(state["probes_churn"])
+        self._targets.clear()
+        self._schedule.clear()
+        for location, path, prefix in state["targets"]:
+            self.register_target(
+                location, tuple(int(asn) for asn in path), int(prefix)
+            )

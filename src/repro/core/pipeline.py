@@ -15,10 +15,12 @@ from __future__ import annotations
 import dataclasses
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.chaos import (
+    ChaosKill,
     FaultPlan,
     inject_batch,
     inject_quartets,
@@ -47,6 +49,9 @@ from repro.net.asn import ASPath, middle_asns
 from repro.net.bgp import Timestamp
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.sim.scenario import BUCKETS_PER_DAY, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.store import CheckpointStore, RestoredRun
 
 
 @dataclass
@@ -80,6 +85,48 @@ class SegmentIssue:
         if self.votes_total == 0:
             return 0.0
         return self.votes_for / self.votes_total
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (checkpointing)."""
+        return {
+            "blame": self.blame.name,
+            "key": self.key,
+            "location_id": self.location_id,
+            "culprit_asn": self.culprit_asn,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "impact": self.impact,
+            "votes_for": self.votes_for,
+            "votes_total": self.votes_total,
+            "sample_prefix": self.sample_prefix,
+            "probed": self.probed,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "SegmentIssue":
+        """Inverse of :meth:`state_dict`."""
+        key = state["key"]
+        return cls(
+            blame=Blame[state["blame"]],
+            key=key if isinstance(key, str) else int(key),
+            location_id=state["location_id"],
+            culprit_asn=(
+                None
+                if state["culprit_asn"] is None
+                else int(state["culprit_asn"])
+            ),
+            first_seen=int(state["first_seen"]),
+            last_seen=int(state["last_seen"]),
+            impact=float(state["impact"]),
+            votes_for=int(state["votes_for"]),
+            votes_total=int(state["votes_total"]),
+            sample_prefix=(
+                None
+                if state["sample_prefix"] is None
+                else int(state["sample_prefix"])
+            ),
+            probed=bool(state["probed"]),
+        )
 
 
 class _KeyedIssueTracker:
@@ -159,6 +206,23 @@ class _KeyedIssueTracker:
         """Close every open run (end of a pipeline run)."""
         self.closed.extend(self.open.values())
         self.open.clear()
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot; ``open`` keeps its dict order."""
+        return {
+            "open": [issue.state_dict() for issue in self.open.values()],
+            "closed": [issue.state_dict() for issue in self.closed],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.open = {}
+        for raw in state["open"]:
+            issue = SegmentIssue.from_state_dict(raw)
+            self.open[issue.key] = issue
+        self.closed = [
+            SegmentIssue.from_state_dict(raw) for raw in state["closed"]
+        ]
 
 
 @dataclass(frozen=True, slots=True)
@@ -256,6 +320,8 @@ class BlameItPipeline:
         rng_per_bucket: bool = False,
         metrics: MetricsRegistry | None = None,
         chaos: FaultPlan | None = None,
+        store: "CheckpointStore | None" = None,
+        warm_start: bool = False,
     ) -> None:
         """
         Args:
@@ -285,6 +351,13 @@ class BlameItPipeline:
                 None — or a plan with every rate at zero — leaves every
                 code path an exact no-op, byte-identical to a run
                 without the parameter.
+            store: Checkpoint store (see :mod:`repro.store`). When set,
+                the run snapshots its state at every day boundary.
+                Requires the columnar pipeline and ``rng_per_bucket``
+                (resume regenerates the pending window's buckets, which
+                only per-bucket seeding makes position-independent).
+            warm_start: Resume from the store's newest checkpoint (cold
+                start if the store is empty). Requires ``store``.
         """
         self.scenario = scenario
         self.config = config or BlameItConfig()
@@ -325,6 +398,16 @@ class BlameItPipeline:
         self.alert_top_k = alert_top_k
         self.seed = seed
         self.rng_per_bucket = rng_per_bucket
+        if warm_start and store is None:
+            raise ValueError("warm_start requires a checkpoint store")
+        if store is not None and not (
+            self.config.columnar_pipeline and rng_per_bucket
+        ):
+            raise ValueError(
+                "checkpointing requires columnar_pipeline and rng_per_bucket"
+            )
+        self._store = store
+        self.warm_start = warm_start
         self._recorded_middle: set[int] = set()
         # Per-scenario columnar generator state: id(scenario) → (scenario,
         # BatchQuartetGenerator, seen pair codes). The scenario reference
@@ -449,19 +532,35 @@ class BlameItPipeline:
         that survive Algorithm 1 (inside ``_process_results``). Every
         stateful consumer sees the same values in the same order as the
         scalar loop, so the two are byte-identical (see DESIGN.md §4b).
+
+        With a checkpoint store attached, the loop snapshots its state
+        at every day boundary and (under ``warm_start``) resumes from
+        the newest snapshot; the resumed run's report stays
+        byte-identical to an uninterrupted one (see DESIGN.md §6).
         """
-        report = PipelineReport(start=start, end=end)
         metrics = self.metrics
-        self._bootstrap_baselines(start, report)
         generator, seen = self._generator_for(self.scenario)
-        window: list[QuartetBatch] = []
-        table, table_dropped = self._starting_table()
-        table_day = start // BUCKETS_PER_DAY
-        for time in range(start, end):
+        restored = self._restore_run(start, end)
+        window_times: list[int] = []
+        if restored is None:
+            cursor = start
+            report = PipelineReport(start=start, end=end)
+            self._bootstrap_baselines(start, report)
+            window: list[QuartetBatch] = []
+            table, table_dropped = self._starting_table()
+        else:
+            cursor = restored.time
+            report = restored.report
+            table, table_dropped = self._resume_table(cursor)
+            window_times = list(restored.window_times)
+            window = self._regenerate_window(generator, window_times)
+        table_day = cursor // BUCKETS_PER_DAY
+        for time in range(cursor, end):
             day = time // BUCKETS_PER_DAY
             if self.fixed_table is None and not table_dropped and day != table_day:
                 table = self.learner.table(as_of_day=day)
                 table_day = day
+            self._maybe_checkpoint(time, cursor, window_times, report)
             with metrics.span("phase.generation"):
                 batch = generator.generate(time, rng=self.bucket_rng(time))
             batch = self._ingest_batch(batch)
@@ -477,13 +576,71 @@ class BlameItPipeline:
                 self.background.on_bgp_update(update)
             if len(batch):
                 window.append(batch)
+                window_times.append(time)
             if (time + 1 - start) % self.config.run_interval_buckets == 0:
                 self._process_window_batches(time, window, table, report)
                 window = []
+                window_times = []
         if window:
             self._process_window_batches(end - 1, window, table, report)
         self._finalize(report)
         return report
+
+    # -- checkpoint/resume ---------------------------------------------------
+
+    def _restore_run(self, start: Timestamp, end: Timestamp) -> "RestoredRun | None":
+        """The newest checkpoint to resume from, or None for cold start."""
+        if self._store is None or not self.warm_start:
+            return None
+        return self._store.restore(self, start, end)
+
+    def _resume_table(self, cursor: Timestamp) -> tuple[ExpectedRTTTable, bool]:
+        """The expected-RTT table as of the resume bucket.
+
+        Checkpoints land only on day boundaries, where the uninterrupted
+        loop has just refreshed to ``learner.table(as_of_day=day)`` —
+        recomputing that from the restored learner reproduces the exact
+        table the interrupted run was holding.
+        """
+        if self.chaos is not None and self.chaos.drop_expected_table:
+            self.metrics.counter("chaos.baseline.table_dropped").inc()
+            return ExpectedRTTTable(), True
+        if self.fixed_table is not None:
+            return self.fixed_table, False
+        return self.learner.table(as_of_day=cursor // BUCKETS_PER_DAY), False
+
+    def _maybe_checkpoint(
+        self,
+        time: Timestamp,
+        cursor: Timestamp,
+        window_times: list[int],
+        report: PipelineReport,
+    ) -> None:
+        """Snapshot at day boundaries; fire a planned chaos kill.
+
+        Skipped at the loop's entry bucket: a cold start has nothing to
+        save, and a resumed run must neither re-save nor re-kill at the
+        very bucket it just restored from.
+        """
+        if time <= cursor:
+            return
+        if self._store is not None and time % BUCKETS_PER_DAY == 0:
+            self._store.save(self, time, window_times, report)
+        if self.chaos is not None and self.chaos.kill_at_bucket == time:
+            raise ChaosKill(f"chaos kill at bucket {time}")
+
+    def _regenerate_window(self, generator, times: list[int]) -> list[QuartetBatch]:
+        """Rebuild the pending (unflushed) window after a restore.
+
+        Deterministic: per-bucket RNG seeding plus identity-keyed chaos
+        injection make each bucket's post-sanitize batch a pure function
+        of ⟨scenario, seed, bucket⟩. Report counters are untouched — the
+        checkpointed report already accounts for these buckets.
+        """
+        return [
+            self._ingest_batch(generator.generate(t, rng=self.bucket_rng(t)))
+            for t in times
+        ]
 
     # -- internals -----------------------------------------------------------
 

@@ -132,6 +132,37 @@ class DurationPredictor:
         """Total durations recorded."""
         return len(self._global)
 
+    def state_dict(self, encode_key=None) -> dict:
+        """JSON-safe snapshot of the duration histories.
+
+        Args:
+            encode_key: Maps each per-key pool's key to a JSON value
+                (keys are opaque hashables here; the pipeline uses
+                ⟨location, AS path⟩ pairs). Identity when None.
+        """
+        encode = encode_key or (lambda key: key)
+        return {
+            "global": list(self._global),
+            "by_key": [
+                [encode(key), list(history)]
+                for key, history in self._by_key.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict, decode_key=None) -> None:
+        """Inverse of :meth:`state_dict`; replaces all current history.
+
+        The stats cache is id-keyed on the pool lists and must start
+        empty — restored lists have fresh identities.
+        """
+        decode = decode_key or (lambda key: key)
+        self._global = [int(d) for d in state["global"]]
+        self._by_key = {
+            decode(encoded): [int(d) for d in history]
+            for encoded, history in state["by_key"]
+        }
+        self._stats_cache = {}
+
 
 class ClientCountPredictor:
     """Predicts active clients on a BGP path from same-window history.
@@ -246,3 +277,42 @@ class ClientCountPredictor:
         if recent is not None:
             return float(recent[1])
         return 0.0
+
+    def state_dict(self, encode_key=None) -> dict:
+        """JSON-safe snapshot of the client-count history.
+
+        Stored column pairs serialize through the same dict view a
+        prediction would materialize — semantically identical (buckets
+        are only ever read through their dict), without mutating the
+        live buckets.
+        """
+        encode = encode_key or (lambda key: key)
+        buckets = []
+        for time, bucket in self._buckets.items():
+            if type(bucket) is not dict:
+                bucket = dict(zip(*bucket))
+            buckets.append(
+                [time, [[encode(key), count] for key, count in bucket.items()]]
+            )
+        return {
+            "buckets": buckets,
+            "recent": [
+                [encode(key), time, count]
+                for key, (time, count) in self._recent.items()
+            ],
+            "evicted_before_day": self._evicted_before_day,
+        }
+
+    def load_state_dict(self, state: dict, decode_key=None) -> None:
+        """Inverse of :meth:`state_dict`; replaces all current history."""
+        decode = decode_key or (lambda key: key)
+        self._buckets = {
+            int(time): {decode(key): int(count) for key, count in pairs}
+            for time, pairs in state["buckets"]
+        }
+        self._recent = {
+            decode(key): (int(time), int(count))
+            for key, time, count in state["recent"]
+        }
+        evicted = state["evicted_before_day"]
+        self._evicted_before_day = None if evicted is None else int(evicted)

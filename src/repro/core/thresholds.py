@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.quartet import Quartet, QuartetBatch
 from repro.net.asn import ASPath
+from repro.rngstate import rng_from_state_dict, rng_state_dict
 
 #: Per-key per-day reservoir size; medians are insensitive to subsampling.
 _RESERVOIR_SIZE = 256
@@ -71,6 +72,22 @@ class _Reservoir:
             index = int(self._rng.integers(0, self.seen))
             if index < _RESERVOIR_SIZE:
                 values[index] = value
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot, including the replacement RNG stream."""
+        return {
+            "values": list(self.values),
+            "seen": self.seen,
+            "rng": rng_state_dict(self._rng),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "_Reservoir":
+        reservoir = cls(0)
+        reservoir.values = [float(v) for v in state["values"]]
+        reservoir.seen = int(state["seen"])
+        reservoir._rng = rng_from_state_dict(state["rng"])
+        return reservoir
 
 
 @dataclass(frozen=True)
@@ -303,6 +320,72 @@ class ExpectedRTTLearner:
             stale = [key for key in store if key[1] < day]
             for key in stale:
                 del store[key]
+
+    def state_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The learner's full state as (JSON-safe meta, NumPy arrays).
+
+        Built for the columnar store backend: reservoir values — the
+        bulk of the state — concatenate into one float64 array per lane,
+        stored as-is; per-reservoir bookkeeping (encoded ⟨key, day⟩,
+        seen count, RNG state) rides in the meta dict, index-aligned
+        with the ``*_lengths`` array. Dict insertion order is preserved
+        — :meth:`restore_arrays` must rebuild the stores in the exact
+        order :meth:`_reservoir` created them, since iteration order
+        feeds byte-identity downstream.
+        """
+        meta: dict = {
+            "history_days": self.history_days,
+            "seed": self._seed,
+            "version": self._version,
+        }
+        arrays: dict[str, np.ndarray] = {}
+        for lane, store in (("cloud", self._cloud), ("middle", self._middle)):
+            keys, seen, rngs, lengths, chunks = [], [], [], [], []
+            for ((key, mobile), day), reservoir in store.items():
+                encoded = key if isinstance(key, str) else list(key)
+                keys.append([encoded, bool(mobile), int(day)])
+                seen.append(reservoir.seen)
+                rngs.append(rng_state_dict(reservoir._rng))
+                lengths.append(len(reservoir.values))
+                chunks.append(reservoir.values)
+            meta[f"{lane}_keys"] = keys
+            meta[f"{lane}_seen"] = seen
+            meta[f"{lane}_rng"] = rngs
+            arrays[f"{lane}_values"] = np.asarray(
+                [value for chunk in chunks for value in chunk],
+                dtype=np.float64,
+            )
+            arrays[f"{lane}_lengths"] = np.asarray(lengths, dtype=np.int64)
+        return meta, arrays
+
+    def restore_arrays(self, meta: dict, arrays: dict) -> None:
+        """Inverse of :meth:`state_arrays`; replaces all current state."""
+        self.history_days = int(meta["history_days"])
+        self._seed = int(meta["seed"])
+        self._version = int(meta["version"])
+        self._table_cache.clear()
+        for lane, store in (("cloud", self._cloud), ("middle", self._middle)):
+            store.clear()
+            values = np.asarray(arrays[f"{lane}_values"], dtype=np.float64)
+            lengths = np.asarray(arrays[f"{lane}_lengths"], dtype=np.int64)
+            offset = 0
+            for encoded, seen, rng, length in zip(
+                meta[f"{lane}_keys"],
+                meta[f"{lane}_seen"],
+                meta[f"{lane}_rng"],
+                lengths.tolist(),
+            ):
+                raw, mobile, day = encoded
+                key = raw if isinstance(raw, str) else tuple(int(a) for a in raw)
+                reservoir = _Reservoir.from_state_dict(
+                    {
+                        "values": values[offset : offset + length].tolist(),
+                        "seen": seen,
+                        "rng": rng,
+                    }
+                )
+                offset += length
+                store[((key, bool(mobile)), int(day))] = reservoir
 
     def _reservoir(self, store: dict, key: tuple) -> _Reservoir:
         reservoir = store.get(key)

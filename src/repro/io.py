@@ -168,7 +168,10 @@ def load_scenario(path: str | pathlib.Path) -> Scenario:
 def report_to_dict(report: PipelineReport) -> dict[str, Any]:
     """PipelineReport → archival JSON summary.
 
-    One-way (reports summarize a run; they are not re-loadable state).
+    The summary is lossy on purpose (issues and verdicts are flattened
+    for archiving); :func:`report_from_dict` loads it back as a
+    :class:`ReportSummary`, not a live :class:`PipelineReport` — mid-run
+    pipeline state round-trips through :mod:`repro.store` instead.
     """
     return {
         "format_version": _FORMAT_VERSION,
@@ -226,4 +229,74 @@ def save_report(report: PipelineReport, path: str | pathlib.Path) -> None:
     """Write a report summary as JSON."""
     pathlib.Path(path).write_text(
         json.dumps(report_to_dict(report), indent=2), encoding="utf-8"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportSummary:
+    """A loaded report document (see :func:`report_from_dict`).
+
+    Mirrors :func:`report_to_dict`'s layout field for field; sequences
+    come back as tuples of plain dicts. ``to_dict`` is the exact
+    inverse, so ``report_from_dict(d).to_dict() == d`` for any document
+    this module wrote.
+    """
+
+    format_version: int
+    window: tuple[int, int]
+    total_quartets: int
+    bad_quartets: int
+    blame_counts: dict[str, int]
+    probes: dict[str, int]
+    middle_issues: tuple[dict[str, Any], ...]
+    verdicts: tuple[dict[str, Any], ...]
+    alerts: tuple[dict[str, Any], ...]
+    metrics: dict | None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Back to the :func:`report_to_dict` document layout."""
+        return {
+            "format_version": self.format_version,
+            "window": list(self.window),
+            "total_quartets": self.total_quartets,
+            "bad_quartets": self.bad_quartets,
+            "blame_counts": dict(self.blame_counts),
+            "probes": dict(self.probes),
+            "middle_issues": [dict(issue) for issue in self.middle_issues],
+            "verdicts": [dict(verdict) for verdict in self.verdicts],
+            "alerts": [dict(alert) for alert in self.alerts],
+            "metrics": self.metrics,
+        }
+
+
+def report_from_dict(data: dict[str, Any]) -> ReportSummary:
+    """Load a report document written by :func:`report_to_dict`.
+
+    Rejects documents from other format generations (or documents that
+    are not report summaries at all) with :class:`ValueError`.
+    """
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported report format version: {version!r}")
+    try:
+        return ReportSummary(
+            format_version=int(version),
+            window=(int(data["window"][0]), int(data["window"][1])),
+            total_quartets=int(data["total_quartets"]),
+            bad_quartets=int(data["bad_quartets"]),
+            blame_counts=dict(data["blame_counts"]),
+            probes=dict(data["probes"]),
+            middle_issues=tuple(dict(i) for i in data["middle_issues"]),
+            verdicts=tuple(dict(v) for v in data["verdicts"]),
+            alerts=tuple(dict(a) for a in data["alerts"]),
+            metrics=data["metrics"],
+        )
+    except (KeyError, TypeError, IndexError) as exc:
+        raise ValueError(f"malformed report document: {exc}") from exc
+
+
+def load_report(path: str | pathlib.Path) -> ReportSummary:
+    """Read a saved report summary back."""
+    return report_from_dict(
+        json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
     )

@@ -19,12 +19,21 @@ columns (a :class:`~repro.core.blame.BlameResultBatch` plus composite
 pair-code arrays), so a sharded run's blame counts are byte-identical
 to the sequential pipeline's.
 
-The expected-RTT table is snapshotted once at the start of the run —
-the mid-run daily refresh of the sequential pipeline does not happen
-(pass ``fixed_table`` or a pre-warmed learner, as the month-scale
-benches do, for byte-identical multi-day runs). Without a fixed table
-the fold still feeds the learner from shipped columns in bucket order,
-leaving it in the same end-of-run state as the sequential loop.
+Without a ``fixed_table`` the sequential pipeline refreshes its
+expected-RTT table at every day boundary, so the sharded driver cuts
+such runs into per-day *segments*: the fold re-snapshots the table from
+the (fold-fed, therefore identical) learner at each boundary and ships
+the fresh snapshot to the workers for the next segment — through the
+checkpoint store as a :class:`~repro.store.StoredTable` reference when
+one is attached, pickled directly otherwise. One wrinkle: the
+sequential loop refreshes at the *top* of a day's first bucket but
+flushes a blame window at the *bottom* of the window's last bucket, so
+a window straddling the boundary is blamed entirely with the new day's
+table. A worker therefore defers any bucket whose window flushes in a
+later day — it ships the sanitized batch itself instead of blames, and
+the fold assigns blames at flush time with the table current *then*.
+With a ``fixed_table`` (or under a chaos table drop) there is a single
+whole-run segment and no deferral, exactly as before.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from __future__ import annotations
 import multiprocessing
 import time as time_mod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -47,7 +57,10 @@ from repro.net.asn import ASPath
 from repro.net.bgp import Timestamp
 from repro.obs import NULL_REGISTRY, MetricsRegistry, Snapshot
 from repro.perf.batch import BatchQuartetGenerator
-from repro.sim.scenario import Scenario
+from repro.sim.scenario import BUCKETS_PER_DAY, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import CheckpointStore, StoredTable
 
 
 @dataclass(slots=True)
@@ -65,7 +78,10 @@ class BucketSummary:
     Attributes:
         time: Bucket index.
         n_quartets: Post-sanitize quartet count (pre sample-gate).
-        blames: The bucket's passive verdicts, columnar.
+        blames: The bucket's passive verdicts, columnar — or None when
+            the bucket's blame assignment is deferred to the fold
+            because its window flushes after a day-boundary table
+            refresh (``deferred_batch`` then carries the batch).
         pair_codes: Unique ⟨location, middle⟩ composite codes, in
             first-occurrence row order — the order the sequential fold
             observes client counts and (crucially, for engine-RNG parity)
@@ -80,25 +96,29 @@ class BucketSummary:
         learn: Post-sanitize learner columns ``(time, mobile,
             mean_rtt_ms, location_index, middle_index)`` when the fold
             learns online (no ``fixed_table``), else None. Vocabularies
-            ride along on ``blames.batch``.
+            ride along on ``blames.batch`` (or ``deferred_batch``).
+        deferred_batch: The full sanitized batch, shipped instead of
+            blames for deferred buckets (see ``blames``).
     """
 
     time: Timestamp
     n_quartets: int
-    blames: BlameResultBatch
+    blames: BlameResultBatch | None
     pair_codes: np.ndarray
     pair_users: np.ndarray
     new_mask: np.ndarray
     new_prefixes: np.ndarray
     learn: tuple[np.ndarray, ...] | None = None
+    deferred_batch: QuartetBatch | None = None
 
 
 def _summarize_bucket(
     time: Timestamp,
     batch: QuartetBatch,
-    blames: BlameResultBatch,
+    blames: BlameResultBatch | None,
     seen_pairs: set[int],
     want_learn: bool,
+    deferred: QuartetBatch | None = None,
 ) -> BucketSummary:
     """Compress a bucket's batch into the cross-process summary."""
     codes = batch.pair_codes()
@@ -132,6 +152,7 @@ def _summarize_bucket(
         new_mask=new_mask,
         new_prefixes=batch.prefix24[first_idx[order]],
         learn=learn,
+        deferred_batch=deferred,
     )
 
 
@@ -142,12 +163,16 @@ class _ShardRunner:
         self,
         scenario: Scenario,
         config: BlameItConfig,
-        table: ExpectedRTTTable,
+        table: "ExpectedRTTTable | StoredTable",
         seed: int,
         metrics_enabled: bool = False,
         chaos: FaultPlan | None = None,
         want_learn: bool = False,
+        run_bounds: tuple[int, int] | None = None,
+        defer_cross_day: bool = False,
     ) -> None:
+        if hasattr(table, "load"):  # a StoredTable reference
+            table = table.load()
         self.generator = BatchQuartetGenerator(scenario)
         self.metrics_enabled = metrics_enabled
         self.localizer = PassiveLocalizer(config, scenario.world.targets)
@@ -155,6 +180,25 @@ class _ShardRunner:
         self.seed = seed
         self.chaos = chaos if chaos is not None and chaos.enabled else None
         self.want_learn = want_learn
+        self.run_bounds = run_bounds
+        self.defer_cross_day = defer_cross_day
+        self.interval = config.run_interval_buckets
+
+    def _defers(self, time: Timestamp) -> bool:
+        """Whether ``time``'s blames must wait for the fold's table.
+
+        True when the bucket's window flushes in a later day than the
+        bucket itself: the sequential loop would blame it with the table
+        refreshed *at* that later day. The flush bucket is derived from
+        the run range (windows are anchored at the run start, not the
+        shard start), clamped to the tail flush at ``end - 1``.
+        """
+        if not self.defer_cross_day or self.run_bounds is None:
+            return False
+        start, end = self.run_bounds
+        flush = start + ((time - start) // self.interval + 1) * self.interval - 1
+        flush = min(flush, end - 1)
+        return flush // BUCKETS_PER_DAY != time // BUCKETS_PER_DAY
 
     def run_shard(
         self, bounds: tuple[int, int], attempt: int = 0
@@ -194,9 +238,15 @@ class _ShardRunner:
             if chaos is not None:
                 batch = inject_batch(chaos, batch, metrics)
             batch = sanitize_batch(batch, metrics)
-            blames = self.localizer.assign_batch_columnar(batch, self.table)
+            if self._defers(time):
+                blames, deferred = None, batch
+            else:
+                blames = self.localizer.assign_batch_columnar(batch, self.table)
+                deferred = None
             summaries.append(
-                _summarize_bucket(time, batch, blames, seen_pairs, self.want_learn)
+                _summarize_bucket(
+                    time, batch, blames, seen_pairs, self.want_learn, deferred
+                )
             )
         return summaries, metrics.snapshot() if metrics.enabled else None
 
@@ -207,15 +257,18 @@ _WORKER_RUNNER: _ShardRunner | None = None
 def _init_worker(
     scenario: Scenario,
     config: BlameItConfig,
-    table: ExpectedRTTTable,
+    table: "ExpectedRTTTable | StoredTable",
     seed: int,
     metrics_enabled: bool,
     chaos: FaultPlan | None = None,
     want_learn: bool = False,
+    run_bounds: tuple[int, int] | None = None,
+    defer_cross_day: bool = False,
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = _ShardRunner(
-        scenario, config, table, seed, metrics_enabled, chaos, want_learn
+        scenario, config, table, seed, metrics_enabled, chaos, want_learn,
+        run_bounds, defer_cross_day,
     )
 
 
@@ -233,8 +286,8 @@ class ShardedPipeline:
         scenario: The world under observation.
         config: Tunables; paper defaults when None.
         learner: Pre-warmed expected-RTT learner (snapshotted at run
-            start; the snapshot is cached, see
-            :meth:`ExpectedRTTLearner.table`).
+            start and re-snapshotted at every day boundary; snapshots
+            are cached, see :meth:`ExpectedRTTLearner.table`).
         fixed_table: Expected-RTT table used verbatim (wins over
             ``learner``).
         duration_predictor: Optionally pre-seeded duration history.
@@ -261,6 +314,13 @@ class ShardedPipeline:
         shard_retry_attempts: Inline re-runs the parent grants each
             failed shard before abandoning it (its buckets then simply
             go missing from the fold, like production data loss).
+        store: Checkpoint store (see :mod:`repro.store`). The fold
+            checkpoints at day boundaries — and pushes each day's table
+            snapshot to the workers through the store — exactly like
+            the sequential pipeline. Chaos kills land at day boundaries
+            (buckets inside a segment are processed out of order, so a
+            mid-day kill point has no sequential-equivalent meaning).
+        warm_start: Resume from the store's newest checkpoint.
     """
 
     def __init__(
@@ -277,6 +337,8 @@ class ShardedPipeline:
         metrics: MetricsRegistry | None = None,
         chaos: FaultPlan | None = None,
         shard_retry_attempts: int = 1,
+        store: "CheckpointStore | None" = None,
+        warm_start: bool = False,
     ) -> None:
         self.config = config or BlameItConfig()
         self.metrics = metrics or NULL_REGISTRY
@@ -300,15 +362,21 @@ class ShardedPipeline:
             rng_per_bucket=True,
             metrics=metrics,
             chaos=chaos,
+            store=store,
+            warm_start=warm_start,
         )
         # The pipeline normalizes disabled plans to None; share its view.
         self.chaos = self.pipeline.chaos
+        self._store = self.pipeline._store  # noqa: SLF001 - same subsystem
         self.seed = seed
         # Without a fixed table the fold feeds the learner from shipped
         # columns (same values, same order as the sequential loop), so
-        # the learner leaves the run in the identical state — though the
-        # run itself still uses the start-of-run table snapshot.
+        # the learner leaves each day in the identical state — which is
+        # what makes the per-day table re-snapshots match too.
         self._want_learn = fixed_table is None
+        # Set per run(); shipped to workers for the deferral predicate.
+        self._run_bounds: tuple[int, int] | None = None
+        self._defer_cross_day = False
 
     # -- delegation ----------------------------------------------------
 
@@ -338,7 +406,9 @@ class ShardedPipeline:
         ]
 
     def _map_shards(
-        self, shards: list[tuple[int, int]], table: ExpectedRTTTable
+        self,
+        shards: list[tuple[int, int]],
+        table: "ExpectedRTTTable | StoredTable",
     ) -> list[tuple[list[BucketSummary], "Snapshot | None"]]:
         """Run every shard, recovering failures at shard granularity.
 
@@ -365,6 +435,7 @@ class ShardedPipeline:
                 inline_runner = _ShardRunner(
                     self.scenario, self.config, table, self.seed, enabled,
                     self.chaos, self._want_learn,
+                    self._run_bounds, self._defer_cross_day,
                 )
             return inline_runner
 
@@ -385,6 +456,7 @@ class ShardedPipeline:
                     initargs=(
                         self.scenario, self.config, table, self.seed, enabled,
                         self.chaos, self._want_learn,
+                        self._run_bounds, self._defer_cross_day,
                     ),
                 )
             except (OSError, multiprocessing.ProcessError):
@@ -433,45 +505,122 @@ class ShardedPipeline:
 
         Generation and the passive phase run sharded; everything with
         cross-bucket or budget state (issue tracking, probing,
-        localization, alerts) folds in the parent in time order.
+        localization, alerts) folds in the parent in time order. When
+        the fold learns online (no ``fixed_table``) the run is cut into
+        per-day segments so the expected-RTT table is re-snapshotted at
+        every day boundary — the same daily refresh the sequential loop
+        performs, which keeps multi-day sharded runs byte-identical.
         """
         pipeline = self.pipeline
         metrics = self.metrics
-        table, _ = pipeline._starting_table()  # noqa: SLF001
-        report = PipelineReport(start=start, end=end)
-        pipeline._bootstrap_baselines(start, report)  # noqa: SLF001
-
-        by_time: dict[int, BucketSummary] = {}
-        for summaries, snapshot in self._map_shards(self._shards(start, end), table):
-            metrics.merge_snapshot(snapshot)
-            for summary in summaries:
-                by_time[summary.time] = summary
-
         config = self.config
-        window_results: list[BlameResult] = []
+        self._run_bounds = (start, end)
+        restored = pipeline._restore_run(start, end)  # noqa: SLF001
+        window_times: list[int] = []
+        # (time, blames, deferred batch) for each non-empty bucket of
+        # the current window; exactly one of blames/batch is non-None.
+        window_entries: list[
+            tuple[int, BlameResultBatch | None, QuartetBatch | None]
+        ] = []
+        if restored is None:
+            cursor = start
+            report = PipelineReport(start=start, end=end)
+            pipeline._bootstrap_baselines(start, report)  # noqa: SLF001
+            table, table_dropped = pipeline._starting_table()  # noqa: SLF001
+        else:
+            cursor = restored.time
+            report = restored.report
+            table, table_dropped = pipeline._resume_table(cursor)  # noqa: SLF001
+            window_times = list(restored.window_times)
+            generator, _ = pipeline._generator_for(self.scenario)  # noqa: SLF001
+            # Checkpoints land on day boundaries, where every pending
+            # window bucket straddles the boundary — so each regenerated
+            # batch is folded as a deferred entry, blamed at flush time
+            # with the current table (exactly what an uninterrupted run
+            # would have done).
+            window_entries = [
+                (time, None, batch)
+                for time, batch in zip(
+                    window_times,
+                    pipeline._regenerate_window(  # noqa: SLF001
+                        generator, window_times
+                    ),
+                )
+            ]
+        refresh = pipeline.fixed_table is None and not table_dropped
+        self._defer_cross_day = refresh
+        origin = cursor
+        table_day = cursor // BUCKETS_PER_DAY
         # Pair-code → ⟨location, middle⟩ decode cache, shared across
         # shards (every shard's generator assigns identical codes).
         decode: dict[int, tuple[str, ASPath]] = {}
-        for time in range(start, end):
-            summary = by_time.get(time)
-            metrics.counter("pipeline.buckets").inc()
-            if summary is not None:
-                report.total_quartets += summary.n_quartets
-                metrics.counter("pipeline.quartets").inc(summary.n_quartets)
-                self._fold_summary(time, summary, decode)
-                window_results.extend(summary.blames.to_results())
-            pipeline.background.run_bucket(time)
-            for update in self.scenario.updates_between(time, time + 1):
-                pipeline.background.on_bgp_update(update)
-            if (time + 1 - start) % config.run_interval_buckets == 0:
-                pipeline._process_results(  # noqa: SLF001
-                    time, window_results, report
-                )
-                window_results = []
-        if window_results:
-            pipeline._process_results(end - 1, window_results, report)  # noqa: SLF001
+        while cursor < end:
+            day = cursor // BUCKETS_PER_DAY
+            if refresh and day != table_day:
+                table = pipeline.learner.table(as_of_day=day)
+                table_day = day
+            pipeline._maybe_checkpoint(  # noqa: SLF001
+                cursor, origin, window_times, report
+            )
+            seg_end = (
+                min(end, (day + 1) * BUCKETS_PER_DAY) if refresh else end
+            )
+            shard_table: "ExpectedRTTTable | StoredTable" = table
+            if self._store is not None:
+                shard_table = self._store.put_table(f"day-{day}", table)
+            by_time: dict[int, BucketSummary] = {}
+            for summaries, snapshot in self._map_shards(
+                self._shards(cursor, seg_end), shard_table
+            ):
+                metrics.merge_snapshot(snapshot)
+                for summary in summaries:
+                    by_time[summary.time] = summary
+            for time in range(cursor, seg_end):
+                summary = by_time.get(time)
+                metrics.counter("pipeline.buckets").inc()
+                if summary is not None:
+                    report.total_quartets += summary.n_quartets
+                    metrics.counter("pipeline.quartets").inc(summary.n_quartets)
+                    self._fold_summary(time, summary, decode)
+                    if summary.n_quartets:
+                        window_entries.append(
+                            (time, summary.blames, summary.deferred_batch)
+                        )
+                        window_times.append(time)
+                pipeline.background.run_bucket(time)
+                for update in self.scenario.updates_between(time, time + 1):
+                    pipeline.background.on_bgp_update(update)
+                if (time + 1 - start) % config.run_interval_buckets == 0:
+                    self._flush_window(time, window_entries, table, report)
+                    window_entries = []
+                    window_times = []
+            cursor = seg_end
+        if window_entries:
+            self._flush_window(end - 1, window_entries, table, report)
         pipeline._finalize(report)  # noqa: SLF001
         return report
+
+    def _flush_window(
+        self,
+        now: Timestamp,
+        entries: list[tuple[int, BlameResultBatch | None, QuartetBatch | None]],
+        table: ExpectedRTTTable,
+        report: PipelineReport,
+    ) -> None:
+        """Materialize one window's blames and run the active phase.
+
+        Worker-computed blames are unpacked as-is; deferred buckets are
+        blamed here with the window's flush-time table.
+        """
+        pipeline = self.pipeline
+        results: list[BlameResult] = []
+        for _, blames, batch in entries:
+            if blames is not None:
+                results.extend(blames.to_results())
+            else:
+                with self.metrics.span("phase.passive"):
+                    results.extend(pipeline.passive.assign_batch(batch, table))
+        pipeline._process_results(now, results, report)  # noqa: SLF001
 
     def _fold_summary(
         self,
@@ -489,7 +638,8 @@ class ShardedPipeline:
         nothing, exactly like the sequential fold's re-encounters.
         """
         pipeline = self.pipeline
-        batch = summary.blames.batch
+        blames = summary.blames
+        batch = blames.batch if blames is not None else summary.deferred_batch
         if summary.learn is not None:
             t, mobile, rtt, loc_idx, mid_idx = summary.learn
             with self.metrics.span("phase.learning"):

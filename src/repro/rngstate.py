@@ -1,0 +1,43 @@
+"""Lossless JSON round-tripping of NumPy generator state.
+
+Checkpointing a run mid-stream (see :mod:`repro.store`) must preserve
+every RNG exactly: the traceroute engine's noise stream and each
+reservoir's replacement stream both feed byte-identity guarantees.
+``bit_generator.state`` exposes the PCG64 state as plain Python ints,
+which are arbitrary precision — so the 128-bit state and increment
+survive JSON without truncation, and a restored generator continues the
+stream as if the run had never stopped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rng_state_dict(rng: np.random.Generator) -> dict:
+    """Serialize a generator's bit-generator state to JSON-safe values."""
+    state = rng.bit_generator.state
+    return {
+        "bit_generator": state["bit_generator"],
+        "state": {key: int(value) for key, value in state["state"].items()},
+        "has_uint32": int(state["has_uint32"]),
+        "uinteger": int(state["uinteger"]),
+    }
+
+
+def rng_from_state_dict(state: dict) -> np.random.Generator:
+    """Rebuild a generator carrying a serialized state."""
+    rng = np.random.default_rng(0)
+    name = rng.bit_generator.state["bit_generator"]
+    if state["bit_generator"] != name:
+        raise ValueError(
+            f"serialized state is for {state['bit_generator']!r}, "
+            f"this platform builds {name!r}"
+        )
+    rng.bit_generator.state = {
+        "bit_generator": state["bit_generator"],
+        "state": {key: int(value) for key, value in state["state"].items()},
+        "has_uint32": int(state["has_uint32"]),
+        "uinteger": int(state["uinteger"]),
+    }
+    return rng

@@ -1,0 +1,53 @@
+"""Pluggable persistence for pipeline state (ROADMAP item 5).
+
+The paper's BlameIt runs continuously over months of telemetry; this
+reproduction's runs were all cold starts bounded by process memory. The
+package closes that gap with a narrow adapter boundary —
+:class:`StoreBackend`, put/get/scan over versioned, schema-tagged
+records — and two implementations behind it:
+
+* :class:`SqliteBackend` — keyed JSON state (tracker runs, issue
+  history, checkpoint metadata) in a single sqlite file;
+* :class:`ColumnarBackend` — NumPy-array payloads (the expected-RTT
+  learner's reservoir histories, table snapshots) as one ``.npz`` file
+  per key, serializing the pipeline's existing columnar arrays as-is.
+
+:class:`CheckpointStore` assembles the two into day-boundary
+checkpoint/restore for :class:`~repro.core.pipeline.BlameItPipeline`
+and :class:`~repro.perf.sharded.ShardedPipeline` — a restored run's
+report stays byte-identical to an uninterrupted one (DESIGN.md §6).
+"""
+
+from repro.store.backend import (
+    CorruptRecordError,
+    Record,
+    SchemaMismatchError,
+    StoreBackend,
+    StoreError,
+)
+from repro.store.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointMismatchError,
+    CheckpointNotFoundError,
+    CheckpointStore,
+    RestoredRun,
+    StoredTable,
+)
+from repro.store.columnar import ColumnarBackend
+from repro.store.sqlite_backend import SqliteBackend
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointMismatchError",
+    "CheckpointNotFoundError",
+    "CheckpointStore",
+    "ColumnarBackend",
+    "CorruptRecordError",
+    "Record",
+    "RestoredRun",
+    "SchemaMismatchError",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreError",
+    "StoredTable",
+]

@@ -1,0 +1,72 @@
+"""The narrow storage-adapter interface.
+
+Everything above this boundary (the checkpoint orchestrator, the CLI)
+sees only :class:`StoreBackend`: versioned, schema-tagged records keyed
+by path-like strings. Backends differ in what payload *values* they
+accept — the sqlite backend stores JSON-able values, the columnar
+backend additionally accepts NumPy arrays verbatim — but share the
+record envelope, so readers can check schema and version uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+class StoreError(RuntimeError):
+    """Base class for storage-backend failures."""
+
+
+class CorruptRecordError(StoreError):
+    """A stored record cannot be decoded (truncated or garbled)."""
+
+
+class SchemaMismatchError(StoreError):
+    """A record's schema tag or version differs from what the reader
+    expects. Raised instead of silently misreading state written by a
+    different layout generation."""
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One stored record.
+
+    Attributes:
+        key: Path-like identity (e.g. ``checkpoint/576/state``).
+        schema: What kind of payload this is (a short tag).
+        version: Layout generation of the payload; readers reject
+            versions they do not understand.
+        payload: The data; value types depend on the backend.
+    """
+
+    key: str
+    schema: str
+    version: int
+    payload: dict[str, Any]
+
+
+class StoreBackend(ABC):
+    """put/get/scan over versioned, schema-tagged records."""
+
+    @abstractmethod
+    def put(
+        self, key: str, payload: dict[str, Any], *, schema: str, version: int
+    ) -> None:
+        """Write (or replace) the record at ``key``."""
+
+    @abstractmethod
+    def get(self, key: str) -> Record | None:
+        """The record at ``key``, or None if absent."""
+
+    @abstractmethod
+    def scan(self, prefix: str = "") -> Iterator[Record]:
+        """All records whose key starts with ``prefix``, in key order."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove the record at ``key`` (no-op if absent)."""
+
+    def close(self) -> None:
+        """Release any held resources (files, connections)."""

@@ -1,0 +1,295 @@
+"""Day-boundary checkpoint/restore over the storage backends.
+
+A checkpoint captures everything the pipeline carries across a day
+boundary: the learner's reservoir histories (columnar, byte-exact
+float64), every tracker/predictor/prober's state, the traceroute
+engine's RNG, and the partial report. Restoring into a freshly
+constructed pipeline and continuing the run produces a report
+byte-identical to the uninterrupted one (DESIGN.md §6).
+
+Write order makes torn checkpoints invisible rather than fatal: the
+small ``meta`` record is written last, and only checkpoints with a meta
+record are ever offered for resume — a kill mid-save simply falls back
+to the previous complete checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.store import codec
+from repro.store.backend import (
+    CorruptRecordError,
+    Record,
+    SchemaMismatchError,
+    StoreError,
+)
+from repro.store.columnar import ColumnarBackend
+from repro.store.sqlite_backend import SqliteBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import BlameItPipeline, PipelineReport
+    from repro.core.thresholds import ExpectedRTTTable
+
+#: Layout generation of checkpoint records. Bump on any change to what
+#: a component's state_dict contains; restore refuses other versions.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_META_SCHEMA = "checkpoint-meta"
+_STATE_SCHEMA = "pipeline-state"
+_LEARNER_SCHEMA = "learner-history"
+_TABLE_SCHEMA = "expected-rtt-table"
+
+
+class CheckpointNotFoundError(StoreError):
+    """The requested checkpoint (or stored table) does not exist."""
+
+
+class CheckpointMismatchError(StoreError):
+    """A checkpoint exists but belongs to a different run — its
+    fingerprint (scenario + config + seeds) or run range differs."""
+
+
+@dataclass(frozen=True, slots=True)
+class StoredTable:
+    """Picklable reference to an expected-RTT table in a columnar store.
+
+    Shipped to shard workers instead of the table itself; each worker
+    resolves it with :meth:`load`. (The table for a day can be large;
+    the reference is two strings.)
+    """
+
+    root: str
+    key: str
+
+    def load(self) -> "ExpectedRTTTable":
+        record = ColumnarBackend(self.root).get(self.key)
+        if record is None:
+            raise CheckpointNotFoundError(
+                f"stored table {self.key!r} not found under {self.root}"
+            )
+        if record.schema != _TABLE_SCHEMA:
+            raise SchemaMismatchError(
+                f"record {self.key!r} has schema {record.schema!r}, "
+                f"expected {_TABLE_SCHEMA!r}"
+            )
+        return codec.table_from_payload(record.payload)
+
+
+@dataclass(slots=True)
+class RestoredRun:
+    """What :meth:`CheckpointStore.restore` hands back to the pipeline.
+
+    Attributes:
+        time: The bucket the checkpoint was taken at (a day boundary);
+            the run resumes from this bucket.
+        report: The partial report up to (not including) ``time``.
+        window_times: Bucket times of the current (unflushed) probe
+            window; the pipeline regenerates their batches
+            deterministically from the scenario.
+    """
+
+    time: int
+    report: "PipelineReport"
+    window_times: list[int] = field(default_factory=list)
+
+
+class CheckpointStore:
+    """Checkpoint/restore for a pipeline run, rooted at a directory.
+
+    Keyed state lives in ``state.db`` (sqlite); the learner's reservoir
+    arrays and table snapshots live under ``columnar/`` as npz files.
+    """
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self._sqlite = SqliteBackend(self.root / "state.db")
+        self._columnar = ColumnarBackend(self.root / "columnar")
+
+    # -- tables shipped to shard workers --------------------------------
+
+    def put_table(self, key: str, table: "ExpectedRTTTable") -> StoredTable:
+        """Persist a table snapshot; returns a worker-shippable ref."""
+        record_key = f"table/{key}"
+        self._columnar.put(
+            record_key,
+            codec.table_payload(table),
+            schema=_TABLE_SCHEMA,
+            version=CHECKPOINT_SCHEMA_VERSION,
+        )
+        return StoredTable(root=str(self._columnar.root), key=record_key)
+
+    # -- checkpoints ----------------------------------------------------
+
+    def fingerprint(self, pipeline: "BlameItPipeline") -> str:
+        """Identity of a run's inputs; restore refuses a mismatch."""
+        spec = (
+            pipeline.config,
+            pipeline.seed,
+            pipeline.alert_top_k,
+            pipeline.rng_per_bucket,
+            pipeline.fixed_table is not None,
+            pipeline.scenario.params,
+        )
+        return hashlib.sha256(repr(spec).encode()).hexdigest()
+
+    def save(
+        self,
+        pipeline: "BlameItPipeline",
+        time: int,
+        window_times: list[int],
+        report: "PipelineReport",
+    ) -> None:
+        """Write the checkpoint for ``time`` (meta record last)."""
+        learner_meta, learner_arrays = pipeline.learner.state_arrays()
+        self._columnar.put(
+            f"checkpoint/{time}/learner",
+            {"meta": learner_meta, **learner_arrays},
+            schema=_LEARNER_SCHEMA,
+            version=CHECKPOINT_SCHEMA_VERSION,
+        )
+        reverse = pipeline.reverse_baselines
+        state: dict[str, Any] = {
+            "engine": pipeline.engine.state_dict(),
+            "baselines": pipeline.baselines.state_dict(),
+            "reverse_baselines": None if reverse is None else reverse.state_dict(),
+            "background": pipeline.background.state_dict(),
+            "duration_predictor": pipeline.duration_predictor.state_dict(
+                encode_key=codec.encode_pair_key
+            ),
+            "client_predictor": pipeline.client_predictor.state_dict(
+                encode_key=codec.encode_pair_key
+            ),
+            "tracker": pipeline.tracker.state_dict(),
+            "cloud_tracker": pipeline.cloud_tracker.state_dict(),
+            "client_tracker": pipeline.client_tracker.state_dict(),
+            "budget": pipeline.on_demand.budget.state_dict(),
+            "probes_on_demand_issued": pipeline.on_demand.probes_issued,
+            "recorded_middle": sorted(pipeline._recorded_middle),
+            "report": codec.report_state_dict(report),
+        }
+        self._sqlite.put(
+            f"checkpoint/{time}/state",
+            state,
+            schema=_STATE_SCHEMA,
+            version=CHECKPOINT_SCHEMA_VERSION,
+        )
+        self._sqlite.put(
+            f"checkpoint/{time}/meta",
+            {
+                "time": time,
+                "run": [report.start, report.end],
+                "window_times": list(window_times),
+                "fingerprint": self.fingerprint(pipeline),
+            },
+            schema=_META_SCHEMA,
+            version=CHECKPOINT_SCHEMA_VERSION,
+        )
+
+    def latest_time(self) -> int | None:
+        """Newest *complete* checkpoint's bucket, or None if empty."""
+        times = [
+            int(record.payload["time"])
+            for record in self._sqlite.scan("checkpoint/")
+            if record.schema == _META_SCHEMA
+        ]
+        return max(times) if times else None
+
+    def restore(
+        self,
+        pipeline: "BlameItPipeline",
+        start: int,
+        end: int,
+        time: int | None = None,
+    ) -> RestoredRun | None:
+        """Load the checkpoint at ``time`` (default: newest) into
+        ``pipeline``. Returns None when the store holds no checkpoint
+        (cold start); raises on any stored-but-unusable state.
+        """
+        if time is None:
+            time = self.latest_time()
+            if time is None:
+                return None
+        meta = self._sqlite.get(f"checkpoint/{time}/meta")
+        if meta is None:
+            raise CheckpointNotFoundError(
+                f"no checkpoint at bucket {time} under {self.root}"
+            )
+        self._check(meta, _META_SCHEMA)
+        if list(meta.payload["run"]) != [start, end]:
+            raise CheckpointMismatchError(
+                f"checkpoint covers run {meta.payload['run']}, "
+                f"cannot resume run [{start}, {end})"
+            )
+        if meta.payload["fingerprint"] != self.fingerprint(pipeline):
+            raise CheckpointMismatchError(
+                "checkpoint was written by a run with a different "
+                "scenario or configuration"
+            )
+        state = self._sqlite.get(f"checkpoint/{time}/state")
+        learner = self._columnar.get(f"checkpoint/{time}/learner")
+        if state is None or learner is None:
+            raise CorruptRecordError(
+                f"checkpoint at bucket {time} is incomplete"
+            )
+        self._check(state, _STATE_SCHEMA)
+        self._check(learner, _LEARNER_SCHEMA)
+
+        payload = learner.payload
+        pipeline.learner.restore_arrays(
+            payload["meta"],
+            {name: value for name, value in payload.items() if name != "meta"},
+        )
+        payload = state.payload
+        pipeline.engine.load_state_dict(payload["engine"])
+        pipeline.baselines.load_state_dict(payload["baselines"])
+        if pipeline.reverse_baselines is not None:
+            if payload["reverse_baselines"] is None:
+                raise CheckpointMismatchError(
+                    "checkpoint lacks reverse-baseline state"
+                )
+            pipeline.reverse_baselines.load_state_dict(
+                payload["reverse_baselines"]
+            )
+        pipeline.background.load_state_dict(payload["background"])
+        pipeline.duration_predictor.load_state_dict(
+            payload["duration_predictor"], decode_key=codec.decode_pair_key
+        )
+        pipeline.client_predictor.load_state_dict(
+            payload["client_predictor"], decode_key=codec.decode_pair_key
+        )
+        pipeline.tracker.load_state_dict(payload["tracker"])
+        pipeline.cloud_tracker.load_state_dict(payload["cloud_tracker"])
+        pipeline.client_tracker.load_state_dict(payload["client_tracker"])
+        pipeline.on_demand.budget.load_state_dict(payload["budget"])
+        pipeline.on_demand.probes_issued = int(
+            payload["probes_on_demand_issued"]
+        )
+        pipeline._recorded_middle = {
+            int(serial) for serial in payload["recorded_middle"]
+        }
+        return RestoredRun(
+            time=int(meta.payload["time"]),
+            report=codec.report_from_state(payload["report"]),
+            window_times=[int(t) for t in meta.payload["window_times"]],
+        )
+
+    def close(self) -> None:
+        self._sqlite.close()
+        self._columnar.close()
+
+    @staticmethod
+    def _check(record: Record, schema: str) -> None:
+        if record.schema != schema:
+            raise SchemaMismatchError(
+                f"record {record.key!r} has schema {record.schema!r}, "
+                f"expected {schema!r}"
+            )
+        if record.version != CHECKPOINT_SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"record {record.key!r} has schema version "
+                f"{record.version}, expected {CHECKPOINT_SCHEMA_VERSION}"
+            )

@@ -1,0 +1,117 @@
+"""Columnar records: NumPy-array payloads, one ``.npz`` file per key.
+
+The expected-RTT learner's state is a few large float64 arrays plus a
+little bookkeeping; round-tripping those through JSON would be slow and
+lossy-by-accident. This backend stores array-valued payload entries as
+native npz members — dtype- and shape-preserving, byte-exact — and
+everything else (plus the record envelope: key, schema tag, version) in
+an embedded JSON header. Writes are atomic (tmp file + ``os.replace``)
+so a kill mid-checkpoint never leaves a torn record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import zipfile
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.store.backend import CorruptRecordError, Record, StoreBackend, StoreError
+
+#: Keys are path-like: segments of word characters, dots and dashes,
+#: separated by "/". Mapped to filenames by replacing "/" with "__".
+_KEY_RE = re.compile(r"[A-Za-z0-9._-]+(?:/[A-Za-z0-9._-]+)*\Z")
+_SLASH = "__"
+_HEADER = "__header__"
+
+
+class ColumnarBackend(StoreBackend):
+    """A :class:`StoreBackend` storing one ``.npz`` file per record."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot create columnar store at {self.root}: {exc}"
+            ) from exc
+
+    def _path(self, key: str) -> pathlib.Path:
+        if not _KEY_RE.match(key) or _SLASH in key:
+            raise StoreError(f"invalid columnar key: {key!r}")
+        return self.root / (key.replace("/", _SLASH) + ".npz")
+
+    def put(
+        self, key: str, payload: dict[str, Any], *, schema: str, version: int
+    ) -> None:
+        arrays = {
+            name: value
+            for name, value in payload.items()
+            if isinstance(value, np.ndarray)
+        }
+        meta = {
+            name: value
+            for name, value in payload.items()
+            if not isinstance(value, np.ndarray)
+        }
+        if any(name.startswith("__") for name in arrays):
+            raise StoreError("array names must not start with '__'")
+        header = {"key": key, "schema": schema, "version": version, "meta": meta}
+        try:
+            header_text = json.dumps(header)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"non-array payload for {key!r} is not JSON-serializable: {exc}"
+            ) from exc
+        path = self._path(key)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **{_HEADER: np.array(header_text)}, **arrays)
+            os.replace(tmp, path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise StoreError(f"cannot write record {key!r}: {exc}") from exc
+
+    def get(self, key: str) -> Record | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        return self._load(path)
+
+    def scan(self, prefix: str = "") -> Iterator[Record]:
+        records = []
+        for path in self.root.glob("*.npz"):
+            record = self._load(path)
+            if record.key.startswith(prefix):
+                records.append(record)
+        records.sort(key=lambda record: record.key)
+        yield from records
+
+    def delete(self, key: str) -> None:
+        self._path(key).unlink(missing_ok=True)
+
+    def _load(self, path: pathlib.Path) -> Record:
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                header = json.loads(str(npz[_HEADER][()]))
+                arrays = {
+                    name: npz[name] for name in npz.files if name != _HEADER
+                }
+            payload: dict[str, Any] = dict(header["meta"])
+            payload.update(arrays)
+            return Record(
+                key=header["key"],
+                schema=header["schema"],
+                version=int(header["version"]),
+                payload=payload,
+            )
+        except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile) as exc:
+            raise CorruptRecordError(
+                f"cannot read columnar record at {path}: {exc}"
+            ) from exc

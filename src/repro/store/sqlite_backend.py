@@ -1,0 +1,113 @@
+"""Keyed JSON records in a single sqlite file.
+
+One ``records`` table, key-addressed; payloads are JSON text. sqlite is
+in the standard library, transactional per put, and comfortable with
+the small-but-many shape of tracker/checkpoint state.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+from typing import Any, Iterator
+
+from repro.store.backend import CorruptRecordError, Record, StoreBackend, StoreError
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS records (
+    key TEXT PRIMARY KEY,
+    schema TEXT NOT NULL,
+    version INTEGER NOT NULL,
+    payload TEXT NOT NULL
+)
+"""
+
+_COLUMNS = "key, schema, version, payload"
+
+
+class SqliteBackend(StoreBackend):
+    """A :class:`StoreBackend` over one sqlite database file."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute(_SCHEMA_SQL)
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreError(
+                f"cannot open sqlite store at {self.path}: {exc}"
+            ) from exc
+
+    def put(
+        self, key: str, payload: dict[str, Any], *, schema: str, version: int
+    ) -> None:
+        try:
+            text = json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"payload for {key!r} is not JSON-serializable: {exc}"
+            ) from exc
+        try:
+            with self._conn:
+                self._conn.execute(
+                    f"INSERT OR REPLACE INTO records ({_COLUMNS}) "
+                    "VALUES (?, ?, ?, ?)",
+                    (key, schema, version, text),
+                )
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot write record {key!r}: {exc}") from exc
+
+    def get(self, key: str) -> Record | None:
+        try:
+            row = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM records WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot read record {key!r}: {exc}") from exc
+        if row is None:
+            return None
+        return self._record(row)
+
+    def scan(self, prefix: str = "") -> Iterator[Record]:
+        pattern = (
+            prefix.replace("\\", r"\\").replace("%", r"\%").replace("_", r"\_")
+            + "%"
+        )
+        try:
+            rows = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM records "
+                "WHERE key LIKE ? ESCAPE '\\' ORDER BY key",
+                (pattern,),
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot scan prefix {prefix!r}: {exc}") from exc
+        for row in rows:
+            yield self._record(row)
+
+    def delete(self, key: str) -> None:
+        try:
+            with self._conn:
+                self._conn.execute("DELETE FROM records WHERE key = ?", (key,))
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot delete record {key!r}: {exc}") from exc
+
+    def close(self) -> None:
+        self._conn.close()
+
+    @staticmethod
+    def _record(row: tuple) -> Record:
+        key, schema, version, text = row
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise CorruptRecordError(
+                f"record {key!r} has a corrupt payload: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CorruptRecordError(
+                f"record {key!r} payload is not an object"
+            )
+        return Record(key=key, schema=schema, version=int(version), payload=payload)

@@ -34,6 +34,25 @@ def small_world(small_params):
 
 
 @pytest.fixture(scope="session")
+def multi_day_params() -> ScenarioParams:
+    """Two regions, one location each, three simulated days — the
+    smallest world whose runs span multiple day-boundary table
+    refreshes (checkpoint and sharded-refresh tests)."""
+    return ScenarioParams(
+        seed=42,
+        regions=(Region.USA, Region.EUROPE),
+        locations_per_region=1,
+        duration_days=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def multi_day_world(multi_day_params):
+    """A session-shared three-day world (read-only in tests)."""
+    return build_world(multi_day_params)
+
+
+@pytest.fixture(scope="session")
 def small_scenario(small_world):
     """A fault-free, churn-free scenario over the small world.
 

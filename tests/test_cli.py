@@ -222,6 +222,94 @@ class TestMetricsJson:
         assert "phase seconds" not in capsys.readouterr().out
 
 
+class TestCheckpointFlags:
+    """--checkpoint-dir / --resume / --kill-at: chaos kill exits 3, resume
+    reproduces the straight-through report byte-for-byte, and bad resume
+    targets exit 2 with a one-line error."""
+
+    # Two simulated days so the run crosses the day-288 checkpoint.
+    DAYS2 = ["--seed", "3", "--regions", "USA", "Europe", "--days", "2",
+             "--locations", "1"]
+    RANGE = ["--start", "240", "--end", "360"]
+
+    def test_kill_then_resume_matches_straight_through(
+        self, tmp_path, capsys
+    ):
+        straight = tmp_path / "straight.json"
+        # The straight-through run also checkpoints: a store switches the
+        # sequential pipeline to per-bucket RNG seeding, so both runs must
+        # use the same seeding scheme to compare byte-for-byte.
+        code = main(
+            ["diagnose", *self.DAYS2, *self.RANGE,
+             "--checkpoint-dir", str(tmp_path / "ckpt_a"),
+             "--save-report", str(straight)]
+        )
+        assert code == 0
+        ckpt = tmp_path / "ckpt_b"
+        code = main(
+            ["diagnose", *self.DAYS2, *self.RANGE,
+             "--checkpoint-dir", str(ckpt), "--kill-at", "288"]
+        )
+        assert code == 3
+        assert "chaos: chaos kill at bucket 288" in capsys.readouterr().err
+        resumed = tmp_path / "resumed.json"
+        code = main(
+            ["diagnose", *self.DAYS2, *self.RANGE,
+             "--resume", str(ckpt), "--save-report", str(resumed)]
+        )
+        assert code == 0
+        assert "resuming from checkpoint" in capsys.readouterr().out
+        assert resumed.read_text() == straight.read_text()
+
+    def test_resume_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["diagnose", *FAST, "--start", "150", "--end", "160",
+             "--resume", str(tmp_path / "nope")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot resume: no checkpoint directory" in err
+
+    def test_resume_empty_directory_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(
+            ["diagnose", *FAST, "--start", "150", "--end", "160",
+             "--resume", str(empty)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot resume: no checkpoint found" in err
+
+    def test_resume_corrupt_store_exits_2(self, tmp_path, capsys):
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        (broken / "state.db").write_text("not a sqlite database at all")
+        assert main(
+            ["diagnose", *FAST, "--start", "150", "--end", "160",
+             "--resume", str(broken)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot open checkpoint store" in err
+
+    def test_conflicting_dirs_exit_2(self, tmp_path, capsys):
+        assert main(
+            ["diagnose", *FAST, "--start", "150", "--end", "160",
+             "--checkpoint-dir", str(tmp_path / "a"),
+             "--resume", str(tmp_path / "b")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--checkpoint-dir and --resume must name the same" in err
+
+    def test_negative_kill_at_exits_2(self, capsys):
+        assert main(
+            ["diagnose", *FAST, "--start", "150", "--end", "160",
+             "--kill-at", "-1"]
+        ) == 2
+        assert "--kill-at must be >= 0" in capsys.readouterr().err
+
+
 class TestWorkersFlag:
     def test_diagnose_with_workers(self, capsys):
         code = main(

@@ -104,37 +104,8 @@ class TestShardedEquivalence:
             self._sharded(trained), with_metrics=True
         ) == report_json(self._sequential(trained), with_metrics=True)
 
-    def test_online_learning_byte_identical(self, small_world):
-        """No fixed table: the fold feeds the learner from shipped
-        columns, so report AND end-of-run learner state match the
-        sequential pipeline (window within one day — the sharded driver
-        snapshots the table once, with no daily refresh)."""
-
-        def run(sharded: bool):
-            # Fresh scenario per run: warmup draws from the scenario's
-            # shared RNG stream, so the pipelines must not share one.
-            scenario = Scenario.from_world(small_world)
-            if sharded:
-                pipeline = ShardedPipeline(
-                    scenario,
-                    config=self._config(vectorized_passive=True),
-                    seed=11,
-                    n_workers=2,
-                    buckets_per_shard=13,
-                )
-            else:
-                pipeline = BlameItPipeline(
-                    scenario, config=self._config(), seed=11,
-                    rng_per_bucket=True,
-                )
-            pipeline.warmup(0, 96, stride=4)
-            report = pipeline.run(100, 160)
-            learner = (pipeline.pipeline if sharded else pipeline).learner
-            return report, learner
-
-        got, got_learner = run(sharded=True)
-        expected, expected_learner = run(sharded=False)
-        assert report_json(got) == report_json(expected)
+    @staticmethod
+    def _assert_learner_state_equal(got_learner, expected_learner):
         for store_got, store_exp in (
             (got_learner._cloud, expected_learner._cloud),
             (got_learner._middle, expected_learner._middle),
@@ -143,6 +114,56 @@ class TestShardedEquivalence:
             for key in store_exp:
                 assert store_got[key].values == store_exp[key].values
                 assert store_got[key].seen == store_exp[key].seen
+
+    def _online_run(self, world, start, end, sharded: bool):
+        # Fresh scenario per run: warmup draws from the scenario's
+        # shared RNG stream, so the pipelines must not share one.
+        scenario = Scenario.from_world(world)
+        if sharded:
+            pipeline = ShardedPipeline(
+                scenario,
+                config=self._config(vectorized_passive=True),
+                seed=11,
+                n_workers=2,
+                buckets_per_shard=13,
+            )
+        else:
+            pipeline = BlameItPipeline(
+                scenario, config=self._config(), seed=11,
+                rng_per_bucket=True,
+            )
+        pipeline.warmup(0, 96, stride=4)
+        report = pipeline.run(start, end)
+        learner = (pipeline.pipeline if sharded else pipeline).learner
+        return report, learner
+
+    def test_online_learning_byte_identical(self, small_world):
+        """No fixed table: the fold feeds the learner from shipped
+        columns, so report AND end-of-run learner state match the
+        sequential pipeline (single-day window — one table snapshot
+        covers the whole run)."""
+        got, got_learner = self._online_run(small_world, 100, 160, sharded=True)
+        expected, expected_learner = self._online_run(
+            small_world, 100, 160, sharded=False
+        )
+        assert report_json(got) == report_json(expected)
+        self._assert_learner_state_equal(got_learner, expected_learner)
+
+    def test_multi_day_online_learning_byte_identical(self, multi_day_world):
+        """Regression for the single start-of-run table snapshot: an
+        online-learning run spanning day boundaries must re-snapshot the
+        expected-RTT table at each boundary, the way the sequential loop
+        does — including for windows that straddle a boundary, whose
+        buckets the workers defer to the fold. Three days, two workers,
+        report and learner state byte-identical."""
+        got, got_learner = self._online_run(
+            multi_day_world, 100, 700, sharded=True
+        )
+        expected, expected_learner = self._online_run(
+            multi_day_world, 100, 700, sharded=False
+        )
+        assert report_json(got) == report_json(expected)
+        self._assert_learner_state_equal(got_learner, expected_learner)
 
     def test_crash_plus_retry_byte_identical(self, trained):
         """Every shard's worker crashes once; the per-shard retry recovers

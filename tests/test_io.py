@@ -8,9 +8,11 @@ import pytest
 from repro.core.config import BlameItConfig
 from repro.core.pipeline import BlameItPipeline
 from repro.io import (
+    load_report,
     load_scenario,
     params_from_dict,
     params_to_dict,
+    report_from_dict,
     report_to_dict,
     save_report,
     save_scenario,
@@ -110,11 +112,14 @@ class TestScenarioRoundTrip:
 
 
 class TestReportSerialization:
-    def test_report_summary(self, params, tmp_path):
+    @pytest.fixture(scope="class")
+    def report(self, params):
         scenario = Scenario.build(params)
         pipeline = BlameItPipeline(scenario, config=BlameItConfig(history_days=1))
         pipeline.warmup(0, 96, stride=4)
-        report = pipeline.run(100, 140)
+        return pipeline.run(100, 140)
+
+    def test_report_summary(self, report, tmp_path):
         data = report_to_dict(report)
         json.dumps(data)  # JSON-compatible
         assert data["window"] == [100, 140]
@@ -128,3 +133,30 @@ class TestReportSerialization:
         path = tmp_path / "report.json"
         save_report(report, path)
         assert json.loads(path.read_text())["window"] == [100, 140]
+
+    def test_report_dict_round_trip(self, report):
+        data = report_to_dict(report)
+        summary = report_from_dict(data)
+        assert summary.window == (100, 140)
+        assert summary.total_quartets == report.total_quartets
+        # The round trip is lossless: serializing the parsed summary
+        # reproduces the original document exactly.
+        assert summary.to_dict() == data
+
+    def test_report_file_round_trip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        summary = load_report(path)
+        assert summary.to_dict() == report_to_dict(report)
+
+    def test_report_version_check(self, report):
+        data = report_to_dict(report)
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="unsupported report format"):
+            report_from_dict(data)
+
+    def test_report_malformed_document(self, report):
+        data = report_to_dict(report)
+        del data["probes"]
+        with pytest.raises(ValueError, match="malformed report document"):
+            report_from_dict(data)

@@ -1,0 +1,288 @@
+"""Tests for repro.store: backends, checkpoint/restore, kill+resume.
+
+The headline property mirrors DESIGN.md §6: a run that checkpoints at a
+day boundary, dies (chaos kill), and resumes from the store produces a
+report byte-identical to an uninterrupted run — sequential and sharded.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosKill, FaultPlan
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.io import report_to_dict
+from repro.perf.sharded import ShardedPipeline
+from repro.sim.scenario import Scenario
+from repro.store import (
+    CheckpointMismatchError,
+    CheckpointStore,
+    ColumnarBackend,
+    CorruptRecordError,
+    SchemaMismatchError,
+    SqliteBackend,
+    StoreError,
+)
+
+
+class TestSqliteBackend:
+    def test_roundtrip_and_replace(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "state.db")
+        backend.put("a/b", {"x": 1, "y": [1, 2]}, schema="s", version=3)
+        record = backend.get("a/b")
+        assert record.key == "a/b"
+        assert record.schema == "s"
+        assert record.version == 3
+        assert record.payload == {"x": 1, "y": [1, 2]}
+        backend.put("a/b", {"x": 2}, schema="s", version=3)
+        assert backend.get("a/b").payload == {"x": 2}
+        backend.close()
+
+    def test_get_missing_returns_none_and_delete_is_idempotent(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "state.db")
+        assert backend.get("nope") is None
+        backend.delete("nope")  # no-op, no error
+        backend.close()
+
+    def test_scan_prefix_in_key_order(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "state.db")
+        for key in ("b/2", "a/1", "b/1", "c"):
+            backend.put(key, {"k": key}, schema="s", version=1)
+        assert [r.key for r in backend.scan("b/")] == ["b/1", "b/2"]
+        assert [r.key for r in backend.scan()] == ["a/1", "b/1", "b/2", "c"]
+        backend.close()
+
+    def test_scan_escapes_like_wildcards(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "state.db")
+        backend.put("a_b", {}, schema="s", version=1)
+        backend.put("axb", {}, schema="s", version=1)
+        assert [r.key for r in backend.scan("a_")] == ["a_b"]
+        backend.close()
+
+    def test_non_json_payload_rejected(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "state.db")
+        with pytest.raises(StoreError):
+            backend.put("k", {"bad": object()}, schema="s", version=1)
+        backend.close()
+
+    def test_corrupt_database_file_raises_store_error(self, tmp_path):
+        path = tmp_path / "state.db"
+        path.write_text("this is not a sqlite database, not even close")
+        with pytest.raises(StoreError):
+            SqliteBackend(path)
+
+    def test_corrupt_payload_raises_corrupt_record(self, tmp_path):
+        path = tmp_path / "state.db"
+        backend = SqliteBackend(path)
+        backend.put("k", {"x": 1}, schema="s", version=1)
+        backend.close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE records SET payload = 'not json'")
+        conn.commit()
+        conn.close()
+        backend = SqliteBackend(path)
+        with pytest.raises(CorruptRecordError):
+            backend.get("k")
+        backend.close()
+
+
+class TestColumnarBackend:
+    def test_roundtrip_preserves_arrays_exactly(self, tmp_path):
+        backend = ColumnarBackend(tmp_path)
+        values = np.array([1.25, -3.5, 7.0e-300], dtype=np.float64)
+        lengths = np.array([1, 2], dtype=np.int64)
+        backend.put(
+            "learner/day-0",
+            {"values": values, "lengths": lengths, "meta": {"n": 2}},
+            schema="learner",
+            version=1,
+        )
+        record = backend.get("learner/day-0")
+        assert record.schema == "learner"
+        assert record.version == 1
+        assert record.payload["meta"] == {"n": 2}
+        assert record.payload["values"].dtype == np.float64
+        np.testing.assert_array_equal(record.payload["values"], values)
+        np.testing.assert_array_equal(record.payload["lengths"], lengths)
+
+    def test_scan_and_delete(self, tmp_path):
+        backend = ColumnarBackend(tmp_path)
+        for key in ("t/b", "t/a", "other"):
+            backend.put(key, {"k": key}, schema="s", version=1)
+        assert [r.key for r in backend.scan("t/")] == ["t/a", "t/b"]
+        backend.delete("t/a")
+        assert [r.key for r in backend.scan("t/")] == ["t/b"]
+        assert backend.get("t/a") is None
+
+    def test_invalid_keys_rejected(self, tmp_path):
+        backend = ColumnarBackend(tmp_path)
+        for bad in ("", "a b", "a//b", "/lead", "trail/", "has__sep"):
+            with pytest.raises(StoreError):
+                backend.put(bad, {}, schema="s", version=1)
+
+    def test_corrupt_file_raises_corrupt_record(self, tmp_path):
+        backend = ColumnarBackend(tmp_path)
+        backend.put("k", {"x": np.arange(3)}, schema="s", version=1)
+        (tmp_path / "k.npz").write_bytes(b"truncated garbage")
+        with pytest.raises(CorruptRecordError):
+            backend.get("k")
+
+
+# A window that crosses exactly one day boundary (288) keeps these runs
+# fast while exercising the day-boundary checkpoint and table refresh.
+START, END = 240, 400
+KILL_AT = 288
+
+
+def _config(**overrides) -> BlameItConfig:
+    return BlameItConfig(
+        history_days=1, background_interval_buckets=36, **overrides
+    )
+
+
+def _run(world, *, workers=None, store=None, warm_start=False, kill=None,
+         start=START, end=END, seed=11, warmup=None):
+    """One pipeline run over a fresh scenario; returns (pipeline, report)."""
+    scenario = Scenario.from_world(world)
+    chaos = (
+        FaultPlan(seed=1, kill_at_bucket=kill) if kill is not None else None
+    )
+    if workers is not None:
+        pipeline = ShardedPipeline(
+            scenario,
+            config=_config(vectorized_passive=True),
+            seed=seed,
+            n_workers=workers,
+            store=store,
+            warm_start=warm_start,
+            chaos=chaos,
+        )
+    else:
+        pipeline = BlameItPipeline(
+            scenario,
+            config=_config(),
+            seed=seed,
+            rng_per_bucket=True,
+            store=store,
+            warm_start=warm_start,
+            chaos=chaos,
+        )
+    # Resumed runs skip warmup: restore replaces every learned component.
+    if warmup if warmup is not None else not warm_start:
+        pipeline.warmup(0, 96, stride=4)
+    return pipeline, pipeline.run(start, end)
+
+
+def _digest(report) -> str:
+    return json.dumps(report_to_dict(report), sort_keys=True)
+
+
+class TestCheckpointResume:
+    @pytest.fixture(scope="class")
+    def baseline(self, multi_day_world) -> str:
+        """An uninterrupted, store-less sequential run's digest."""
+        _, report = _run(multi_day_world)
+        return _digest(report)
+
+    def test_checkpointing_run_matches_storeless_run(
+        self, multi_day_world, tmp_path, baseline
+    ):
+        store = CheckpointStore(tmp_path)
+        _, report = _run(multi_day_world, store=store)
+        store.close()
+        assert _digest(report) == baseline
+
+    def test_warm_start_on_empty_store_is_cold_start(
+        self, multi_day_world, tmp_path, baseline
+    ):
+        store = CheckpointStore(tmp_path)
+        _, report = _run(
+            multi_day_world, store=store, warm_start=True, warmup=True
+        )
+        store.close()
+        assert _digest(report) == baseline
+
+    def test_sequential_kill_resume_byte_identical(
+        self, multi_day_world, tmp_path, baseline
+    ):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ChaosKill):
+            _run(multi_day_world, store=store, kill=KILL_AT)
+        assert store.latest_time() == KILL_AT
+        _, report = _run(multi_day_world, store=store, warm_start=True)
+        store.close()
+        assert _digest(report) == baseline
+
+    def test_sharded_kill_resume_byte_identical(
+        self, multi_day_world, tmp_path, baseline
+    ):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ChaosKill):
+            _run(multi_day_world, workers=2, store=store, kill=KILL_AT)
+        _, report = _run(
+            multi_day_world, workers=2, store=store, warm_start=True
+        )
+        store.close()
+        assert _digest(report) == baseline
+
+    def test_mid_day_kill_resumes_from_prior_boundary(
+        self, multi_day_world, tmp_path, baseline
+    ):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ChaosKill):
+            _run(multi_day_world, store=store, kill=KILL_AT + 57)
+        # The kill landed mid-day; the newest complete checkpoint is the
+        # day boundary before it.
+        assert store.latest_time() == KILL_AT
+        _, report = _run(multi_day_world, store=store, warm_start=True)
+        store.close()
+        assert _digest(report) == baseline
+
+    def test_restore_rejects_mismatched_schema_version(
+        self, multi_day_world, tmp_path
+    ):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ChaosKill):
+            _run(multi_day_world, store=store, kill=KILL_AT)
+        store.close()
+        conn = sqlite3.connect(tmp_path / "state.db")
+        conn.execute("UPDATE records SET version = 99")
+        conn.commit()
+        conn.close()
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(SchemaMismatchError):
+            _run(multi_day_world, store=store, warm_start=True)
+        store.close()
+
+    def test_restore_rejects_different_run_inputs(
+        self, multi_day_world, tmp_path
+    ):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ChaosKill):
+            _run(multi_day_world, store=store, kill=KILL_AT)
+        # Different pipeline seed → different fingerprint.
+        with pytest.raises(CheckpointMismatchError):
+            _run(multi_day_world, store=store, warm_start=True, seed=12)
+        # Different run range than the checkpoint covers.
+        with pytest.raises(CheckpointMismatchError):
+            _run(multi_day_world, store=store, warm_start=True, end=END + 3)
+        store.close()
+
+    def test_stored_table_roundtrip(self, multi_day_world, tmp_path):
+        scenario = Scenario.from_world(multi_day_world)
+        pipeline = BlameItPipeline(scenario, config=_config())
+        pipeline.warmup(0, 96, stride=4)
+        table = pipeline.learner.table()
+        store = CheckpointStore(tmp_path)
+        ref = store.put_table("day-0", table)
+        loaded = ref.load()
+        store.close()
+        assert loaded.cloud == table.cloud
+        assert loaded.middle == table.middle
+        assert list(loaded.cloud) == list(table.cloud)
+        assert list(loaded.middle) == list(table.middle)
