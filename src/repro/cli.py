@@ -6,6 +6,7 @@ Usage::
     python -m repro characterize --seed 7 --days 3
     python -m repro diagnose   --seed 7 --days 2 --start 288 --end 576
     python -m repro validate   --seed 11 --incidents 20
+    python -m repro serve      --seed 7 --days 2 --start 288 --http-port 0
 
 Every command builds a reproducible world from its seed, so results are
 stable across runs and machines.
@@ -172,6 +173,91 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_val)
     p_val.add_argument("--incidents", type=int, default=10)
     p_val.add_argument("--incident-seed", type=int, default=5)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run BlameIt as a streaming daemon with live HTTP status",
+    )
+    common(p_serve)
+    p_serve.add_argument(
+        "--scenario", metavar="FILE", help="load a saved scenario spec instead"
+    )
+    p_serve.add_argument(
+        "--source-jsonl",
+        metavar="FILE",
+        help="feed quartets from a JSON-lines file (one quartet row per "
+        "line) instead of generating them from the scenario",
+    )
+    p_serve.add_argument("--start", type=int, default=288)
+    p_serve.add_argument("--end", type=int, default=None)
+    p_serve.add_argument("--budget", type=int, default=5, help="probes per window")
+    p_serve.add_argument(
+        "--reverse",
+        action="store_true",
+        help="enable the §5.1 reverse-traceroute extension",
+    )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="TCP port for the /status, /issues and /metrics endpoints "
+        "(default 0: pick a free port; the chosen port is printed)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="checkpoint daemon state to DIR on the --checkpoint-every "
+        "cadence and on graceful shutdown",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=288,
+        metavar="N",
+        help="checkpoint cadence in buckets (default 288 = daily); "
+        "checkpoints may land mid-day — the held expected-RTT table is "
+        "persisted with them",
+    )
+    p_serve.add_argument(
+        "--keep-checkpoints",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prune the store to the newest N checkpoints after each "
+        "save (default: keep everything)",
+    )
+    p_serve.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="resume from the newest checkpoint in DIR (implies "
+        "--checkpoint-dir DIR; the horizon may extend the "
+        "checkpointed run's)",
+    )
+    p_serve.add_argument(
+        "--retention-days",
+        type=int,
+        default=None,
+        metavar="DAYS",
+        help="bound resident memory: archive closed issues older than "
+        "DAYS days to the checkpoint store (restored at finalization)",
+    )
+    p_serve.add_argument(
+        "--alerts-jsonl",
+        metavar="FILE",
+        help="stream alerts to FILE as JSON lines, as issues close",
+    )
+    p_serve.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="BUCKET",
+        help="chaos: kill the daemon when it reaches BUCKET, after any "
+        "checkpoint there; the process exits with code 3",
+    )
+    p_serve.add_argument(
+        "--save-report", metavar="FILE", help="write the run report as JSON"
+    )
     return parser
 
 
@@ -437,6 +523,188 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _alert_row(alert) -> dict:
+    """One streamed alert as a JSON-safe row (the --alerts-jsonl format)."""
+    return {
+        "blame": str(alert.blame),
+        "team": str(alert.team) if alert.team else None,
+        "location_id": alert.location_id,
+        "middle": list(alert.middle),
+        "culprit_asn": alert.culprit_asn,
+        "first_seen": alert.first_seen,
+        "duration": alert.duration,
+        "impact": alert.impact,
+        "confidence": alert.confidence,
+        "detail": alert.detail,
+    }
+
+
+def _cmd_serve(args) -> int:
+    import json
+    import pathlib
+    import signal
+
+    from repro.chaos import ChaosKill
+    from repro.obs import MetricsRegistry
+    from repro.serve import (
+        BlameItDaemon,
+        JsonlSource,
+        ScenarioSource,
+        StatusServer,
+    )
+    from repro.store import CheckpointStore, StoreError
+
+    if (message := _params_error(args)) is not None:
+        return _fail(message)
+    if args.budget < 0:
+        return _fail(f"--budget must be >= 0, got {args.budget}")
+    if args.checkpoint_every < 1:
+        return _fail(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+    if args.keep_checkpoints is not None and args.keep_checkpoints < 1:
+        return _fail(
+            f"--keep-checkpoints must be >= 1, got {args.keep_checkpoints}"
+        )
+    if args.retention_days is not None and args.retention_days < 1:
+        return _fail(
+            f"--retention-days must be >= 1, got {args.retention_days}"
+        )
+    if args.kill_at is not None and args.kill_at < 0:
+        return _fail(f"--kill-at must be >= 0, got {args.kill_at}")
+    checkpoint_dir = args.checkpoint_dir
+    resume_dir = args.resume
+    if checkpoint_dir and resume_dir and checkpoint_dir != resume_dir:
+        return _fail(
+            "--checkpoint-dir and --resume must name the same directory"
+        )
+    if resume_dir:
+        checkpoint_dir = resume_dir
+    if args.retention_days is not None and not checkpoint_dir:
+        return _fail("--retention-days requires --checkpoint-dir")
+    if args.scenario:
+        from repro.io import load_scenario
+
+        try:
+            scenario = load_scenario(args.scenario)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail(f"cannot load scenario {args.scenario!r}: {exc}")
+    else:
+        scenario = Scenario.build(_build_params(args))
+    end = args.end if args.end is not None else scenario.horizon_buckets
+    if (message := _window_error(args.start, end, scenario.horizon_buckets)):
+        return _fail(message)
+    if args.source_jsonl:
+        try:
+            source = JsonlSource(args.source_jsonl)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail(
+                f"cannot load quartets from {args.source_jsonl!r}: {exc}"
+            )
+    else:
+        source = ScenarioSource()
+    store = None
+    if checkpoint_dir:
+        if resume_dir and not pathlib.Path(resume_dir).is_dir():
+            return _fail(
+                f"cannot resume: no checkpoint directory at {resume_dir!r}"
+            )
+        try:
+            store = CheckpointStore(
+                checkpoint_dir, keep_last=args.keep_checkpoints
+            )
+            if resume_dir and store.latest_time() is None:
+                return _fail(
+                    f"cannot resume: no checkpoint found in {resume_dir!r}"
+                )
+        except StoreError as exc:
+            return _fail(
+                f"cannot open checkpoint store at {checkpoint_dir!r}: {exc}"
+            )
+    config = BlameItConfig(
+        history_days=1,
+        probe_budget_per_window=args.budget,
+        use_reverse_traceroutes=args.reverse,
+    )
+    pipeline = BlameItPipeline(
+        scenario,
+        config=config,
+        metrics=MetricsRegistry(),
+        rng_per_bucket=True,
+        store=store,
+        warm_start=bool(resume_dir),
+    )
+    if resume_dir:
+        print(f"resuming from checkpoint in {resume_dir}")
+    else:
+        warmup_end = min(args.start, 288)
+        pipeline.warmup(0, warmup_end, stride=3)
+    alerts_file = None
+    sink = None
+    if args.alerts_jsonl:
+        alerts_file = open(args.alerts_jsonl, "a", encoding="utf-8")
+
+        def sink(alert) -> None:
+            alerts_file.write(json.dumps(_alert_row(alert)) + "\n")
+            alerts_file.flush()
+
+    daemon = BlameItDaemon(
+        pipeline,
+        args.start,
+        end,
+        source=source,
+        checkpoint_every=args.checkpoint_every if store is not None else None,
+        retention_days=args.retention_days,
+        alert_sink=sink,
+        kill_at=args.kill_at,
+    )
+    # Restore the previous handlers on exit: when serve runs embedded
+    # (tests, scripting), leaving them installed would make processes
+    # forked later inherit a handler that swallows SIGTERM.
+    previous_handlers = {
+        signum: signal.signal(signum, lambda *_: daemon.request_stop())
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    server = StatusServer(daemon, port=args.http_port)
+    server.start()
+    print(f"serving on http://127.0.0.1:{server.port}", flush=True)
+    try:
+        report = daemon.run()
+    except ChaosKill as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 3
+    except StoreError as exc:
+        return _fail(f"cannot use checkpoint state: {exc}")
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        server.close()
+        if alerts_file is not None:
+            alerts_file.close()
+        if store is not None:
+            store.close()
+    if report is None:
+        print("stopped before the horizon; state checkpointed for resume")
+        return 0
+    rows = [
+        [str(blame), count, f"{100 * fraction:.1f}%"]
+        for blame, fraction in report.blame_fractions().items()
+        for count in [report.blame_counts.get(blame, 0)]
+    ]
+    print(render_table(["blame", "quartets", "share"], rows, title="blame mix"))
+    print(
+        f"\nprobes: {report.probes_on_demand} on-demand, "
+        f"{report.probes_background} background; "
+        f"alerts streamed: {daemon.alerts_emitted}"
+    )
+    if args.save_report:
+        from repro.io import save_report
+
+        save_report(report, args.save_report)
+        print(f"report written to {args.save_report}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     import numpy as np
 
@@ -481,6 +749,7 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "diagnose": _cmd_diagnose,
     "validate": _cmd_validate,
+    "serve": _cmd_serve,
 }
 
 

@@ -305,6 +305,52 @@ class PipelineReport:
         return self.probes_on_demand + self.probes_background + self.probes_bootstrap
 
 
+@dataclass
+class RunState:
+    """Everything an in-progress columnar run carries between buckets.
+
+    Produced by :meth:`BlameItPipeline.begin_run` and advanced one
+    bucket at a time by :meth:`BlameItPipeline.step`; the batch
+    :meth:`BlameItPipeline.run` loop and the streaming daemon
+    (:mod:`repro.serve`) drive the same state through the same steps,
+    which is what keeps their reports byte-identical.
+
+    Attributes:
+        report: The partial report being accumulated.
+        end: Exclusive horizon bucket (the daemon may extend it on
+            resume; flush cadence depends only on ``report.start``).
+        entry: The bucket the run entered at (start, or the restored
+            checkpoint's bucket) — checkpoints and chaos kills are
+            suppressed there so a resumed run neither re-saves nor
+            re-kills at the bucket it just restored from.
+        cursor: The next bucket to process.
+        table: The expected-RTT table currently held.
+        table_dropped: Chaos withheld the table for the whole run.
+        table_day: Day the held table was computed for.
+        window: Pending (unflushed) probe-window batches.
+        window_times: Bucket times of ``window`` entries.
+        restored_extra: Caller metadata from the restored checkpoint
+            (empty on cold start; the daemon keeps its archive cursor
+            here).
+        external_seen: ⟨location, middle⟩ pairs already offered to
+            ``register_target`` when buckets arrive from an external
+            source (external batches carry batch-local vocabularies, so
+            the generator's integer pair codes cannot be used).
+    """
+
+    report: PipelineReport
+    end: Timestamp
+    entry: Timestamp
+    cursor: Timestamp
+    table: "ExpectedRTTTable"
+    table_dropped: bool
+    table_day: int
+    window: list[QuartetBatch] = field(default_factory=list)
+    window_times: list[int] = field(default_factory=list)
+    restored_extra: dict = field(default_factory=dict)
+    external_seen: set = field(default_factory=set)
+
+
 class BlameItPipeline:
     """Drives the full two-phase workflow over a scenario."""
 
@@ -525,66 +571,175 @@ class BlameItPipeline:
     def _run_columnar(self, start: Timestamp, end: Timestamp) -> PipelineReport:
         """The batch-native hot path: quartets stay columnar end to end.
 
-        Each bucket flows generation → chaos/sanitize → learning →
-        client/target fold → background probing as
-        :class:`~repro.core.quartet.QuartetBatch` columns; per-row
-        :class:`Quartet` objects are materialized only for the bad rows
-        that survive Algorithm 1 (inside ``_process_results``). Every
-        stateful consumer sees the same values in the same order as the
-        scalar loop, so the two are byte-identical (see DESIGN.md §4b).
+        A thin driver over the incremental step API: ``begin_run`` cold-
+        starts or restores, ``step`` processes one bucket, ``finish_run``
+        flushes and finalizes. Each bucket flows generation →
+        chaos/sanitize → learning → client/target fold → background
+        probing as :class:`~repro.core.quartet.QuartetBatch` columns;
+        per-row :class:`Quartet` objects are materialized only for the
+        bad rows that survive Algorithm 1 (inside ``_process_results``).
+        Every stateful consumer sees the same values in the same order
+        as the scalar loop, so the two are byte-identical (see DESIGN.md
+        §4b).
 
         With a checkpoint store attached, the loop snapshots its state
         at every day boundary and (under ``warm_start``) resumes from
         the newest snapshot; the resumed run's report stays
-        byte-identical to an uninterrupted one (see DESIGN.md §6).
+        byte-identical to an uninterrupted one (see DESIGN.md §6). The
+        streaming daemon (:mod:`repro.serve`) drives the same step API
+        on its own checkpoint cadence.
         """
-        metrics = self.metrics
-        generator, seen = self._generator_for(self.scenario)
+        state = self.begin_run(start, end)
+        for time in range(state.cursor, end):
+            self._refresh_table(state, time)
+            self._maybe_checkpoint(
+                time,
+                state.entry,
+                state.window_times,
+                state.report,
+                table=self._checkpoint_table(state),
+            )
+            self.step(state)
+        return self.finish_run(state)
+
+    # -- the incremental step API --------------------------------------------
+
+    def begin_run(
+        self,
+        start: Timestamp,
+        end: Timestamp,
+        regenerate=None,
+    ) -> RunState:
+        """Open an incremental columnar run over ``[start, end)``.
+
+        Cold-starts (bootstrap probe sweep, fresh table) or — with a
+        store attached and ``warm_start`` — restores the newest
+        checkpoint, including the pending probe window.
+
+        Args:
+            start, end: Bucket range; a restored run may extend a
+                checkpointed horizon (``end`` beyond the stored run's).
+            regenerate: Optional override rebuilding the pending
+                window's *ingested* batches from their bucket times
+                after a restore. Defaults to regenerating from the
+                scenario; a daemon fed by an external source passes a
+                replay from that source instead.
+        """
         restored = self._restore_run(start, end)
-        window_times: list[int] = []
         if restored is None:
-            cursor = start
             report = PipelineReport(start=start, end=end)
             self._bootstrap_baselines(start, report)
-            window: list[QuartetBatch] = []
             table, table_dropped = self._starting_table()
+            return RunState(
+                report=report,
+                end=end,
+                entry=start,
+                cursor=start,
+                table=table,
+                table_dropped=table_dropped,
+                table_day=start // BUCKETS_PER_DAY,
+            )
+        table, table_dropped = self._resume_table(restored)
+        state = RunState(
+            report=restored.report,
+            end=end,
+            entry=restored.time,
+            cursor=restored.time,
+            table=table,
+            table_dropped=table_dropped,
+            table_day=restored.time // BUCKETS_PER_DAY,
+            window_times=list(restored.window_times),
+            restored_extra=restored.extra,
+        )
+        if regenerate is not None:
+            state.window = regenerate(state.window_times)
         else:
-            cursor = restored.time
-            report = restored.report
-            table, table_dropped = self._resume_table(cursor)
-            window_times = list(restored.window_times)
-            window = self._regenerate_window(generator, window_times)
-        table_day = cursor // BUCKETS_PER_DAY
-        for time in range(cursor, end):
-            day = time // BUCKETS_PER_DAY
-            if self.fixed_table is None and not table_dropped and day != table_day:
-                table = self.learner.table(as_of_day=day)
-                table_day = day
-            self._maybe_checkpoint(time, cursor, window_times, report)
+            generator, _ = self._generator_for(self.scenario)
+            state.window = self._regenerate_window(generator, state.window_times)
+        return state
+
+    def step(self, state: RunState, batch: QuartetBatch | None = None) -> None:
+        """Process the bucket at ``state.cursor`` and advance it.
+
+        Args:
+            state: The run opened by :meth:`begin_run`.
+            batch: The bucket's raw (pre-chaos, pre-sanitize) quartets
+                from an external source; None generates them from the
+                scenario — the batch loop's path. A single run must not
+                mix the two (external batches carry batch-local
+                vocabularies, scenario batches the generator's).
+
+        The flush cadence (``run_interval_buckets``) counts from
+        ``report.start``, so a resumed run flushes at the same buckets
+        the uninterrupted one would have.
+        """
+        time = state.cursor
+        metrics = self.metrics
+        self._refresh_table(state, time)
+        external = batch is not None
+        generator, seen = self._generator_for(self.scenario)
+        if not external:
             with metrics.span("phase.generation"):
                 batch = generator.generate(time, rng=self.bucket_rng(time))
-            batch = self._ingest_batch(batch)
-            report.total_quartets += len(batch)
-            metrics.counter("pipeline.buckets").inc()
-            metrics.counter("pipeline.quartets").inc(len(batch))
-            if self.fixed_table is None:
-                with metrics.span("phase.learning"):
-                    self.learner.observe_batch(batch)
+        batch = self._ingest_batch(batch)
+        report = state.report
+        report.total_quartets += len(batch)
+        metrics.counter("pipeline.buckets").inc()
+        metrics.counter("pipeline.quartets").inc(len(batch))
+        if self.fixed_table is None:
+            with metrics.span("phase.learning"):
+                self.learner.observe_batch(batch)
+        if external:
+            self._fold_bucket_columnar(
+                time, batch, None, state.external_seen, seed_new=True
+            )
+        else:
             self._fold_bucket_columnar(time, batch, generator, seen, seed_new=True)
-            self.background.run_bucket(time)
-            for update in self.scenario.updates_between(time, time + 1):
-                self.background.on_bgp_update(update)
-            if len(batch):
-                window.append(batch)
-                window_times.append(time)
-            if (time + 1 - start) % self.config.run_interval_buckets == 0:
-                self._process_window_batches(time, window, table, report)
-                window = []
-                window_times = []
-        if window:
-            self._process_window_batches(end - 1, window, table, report)
-        self._finalize(report)
-        return report
+        self.background.run_bucket(time)
+        for update in self.scenario.updates_between(time, time + 1):
+            self.background.on_bgp_update(update)
+        if len(batch):
+            state.window.append(batch)
+            state.window_times.append(time)
+        state.cursor = time + 1
+        if (state.cursor - report.start) % self.config.run_interval_buckets == 0:
+            self._process_window_batches(time, state.window, state.table, report)
+            state.window = []
+            state.window_times = []
+
+    def finish_run(self, state: RunState) -> PipelineReport:
+        """Flush the pending window, finalize, and return the report."""
+        if state.window:
+            self._process_window_batches(
+                state.end - 1, state.window, state.table, state.report
+            )
+            state.window = []
+            state.window_times = []
+        self._finalize(state.report)
+        return state.report
+
+    def _refresh_table(self, state: RunState, time: Timestamp) -> None:
+        """Refresh the held table at day boundaries (idempotent per day).
+
+        Called both by :meth:`step` and by drivers immediately before a
+        checkpoint, so the table persisted at a day-boundary save is the
+        refreshed one, not the outgoing day's.
+        """
+        day = time // BUCKETS_PER_DAY
+        if (
+            self.fixed_table is None
+            and not state.table_dropped
+            and day != state.table_day
+        ):
+            state.table = self.learner.table(as_of_day=day)
+            state.table_day = day
+
+    def _checkpoint_table(self, state: RunState) -> "ExpectedRTTTable | None":
+        """The held table a checkpoint must persist, or None when
+        restore can rebuild it (fixed table, chaos-withheld table)."""
+        if self.fixed_table is not None or state.table_dropped:
+            return None
+        return state.table
 
     # -- checkpoint/resume ---------------------------------------------------
 
@@ -594,20 +749,31 @@ class BlameItPipeline:
             return None
         return self._store.restore(self, start, end)
 
-    def _resume_table(self, cursor: Timestamp) -> tuple[ExpectedRTTTable, bool]:
+    def _resume_table(
+        self, restored: "RestoredRun"
+    ) -> tuple[ExpectedRTTTable, bool]:
         """The expected-RTT table as of the resume bucket.
 
-        Checkpoints land only on day boundaries, where the uninterrupted
-        loop has just refreshed to ``learner.table(as_of_day=day)`` —
-        recomputing that from the restored learner reproduces the exact
-        table the interrupted run was holding.
+        The checkpoint persists the held table verbatim (mid-day it
+        cannot be recomputed: ``learner.table(as_of_day=d)`` folds in
+        day ``d``'s partial observations, and the restored learner has
+        more of them than the interrupted run had at save time). A
+        day-boundary checkpoint without a table record — fixed-table and
+        chaos-withheld runs, which rebuild theirs directly — falls back
+        to recomputing from the learner, which at a boundary reproduces
+        the exact table the interrupted run was holding.
         """
         if self.chaos is not None and self.chaos.drop_expected_table:
             self.metrics.counter("chaos.baseline.table_dropped").inc()
             return ExpectedRTTTable(), True
         if self.fixed_table is not None:
             return self.fixed_table, False
-        return self.learner.table(as_of_day=cursor // BUCKETS_PER_DAY), False
+        if restored.table is not None:
+            return restored.table, False
+        return (
+            self.learner.table(as_of_day=restored.time // BUCKETS_PER_DAY),
+            False,
+        )
 
     def _maybe_checkpoint(
         self,
@@ -615,6 +781,7 @@ class BlameItPipeline:
         cursor: Timestamp,
         window_times: list[int],
         report: PipelineReport,
+        table: "ExpectedRTTTable | None" = None,
     ) -> None:
         """Snapshot at day boundaries; fire a planned chaos kill.
 
@@ -625,7 +792,7 @@ class BlameItPipeline:
         if time <= cursor:
             return
         if self._store is not None and time % BUCKETS_PER_DAY == 0:
-            self._store.save(self, time, window_times, report)
+            self._store.save(self, time, window_times, report, table=table)
         if self.chaos is not None and self.chaos.kill_at_bucket == time:
             raise ChaosKill(f"chaos kill at bucket {time}")
 
@@ -677,6 +844,15 @@ class BlameItPipeline:
         scalar loop's ``Counter`` insertion and per-quartet
         ``register_target`` calls produce. Seeding order matters: each
         seed probe draws measurement noise from the engine's shared RNG.
+
+        With ``generator`` set, pair codes index the generator's shared
+        vocabularies and the ``seen`` set holds codes. With ``generator``
+        None (external batches, whose codes index batch-local vocabs),
+        keys come from :meth:`QuartetBatch.pair_key` and ``seen`` holds
+        ⟨location, middle⟩ key tuples — stable across batches. Either
+        way ``seen`` is purely an optimization: ``register_target``
+        returns False for already-known pairs, so a seen set rebuilt
+        empty after a restore stays correct.
         """
         if not len(batch):
             return
@@ -687,15 +863,19 @@ class BlameItPipeline:
         users = np.bincount(inverse, weights=batch.users)
         prefixes = batch.prefix24
         order = np.argsort(first_idx, kind="stable").tolist()
-        keys = [generator.pair_key(int(unique[pos])) for pos in order]
+        if generator is not None:
+            keys = [generator.pair_key(int(unique[pos])) for pos in order]
+            tokens = [int(unique[pos]) for pos in order]
+        else:
+            keys = [batch.pair_key(int(unique[pos])) for pos in order]
+            tokens = keys
         self.client_predictor.observe_bucket(
             keys, time, [int(users[pos]) for pos in order]
         )
-        for key, pos in zip(keys, order):
-            code = int(unique[pos])
-            if code in seen:
+        for key, token, pos in zip(keys, tokens, order):
+            if token in seen:
                 continue
-            seen.add(code)
+            seen.add(token)
             prefix = int(prefixes[first_idx[pos]])
             if self.background.register_target(key[0], key[1], prefix):
                 if seed_new:
@@ -1005,42 +1185,48 @@ class BlameItPipeline:
         if metrics.enabled:
             report.metrics = metrics.snapshot()
 
+    @staticmethod
+    def middle_alert(issue, verdict=None) -> Alert:
+        """The alert for one closed middle-segment issue (verdict from
+        :meth:`best_verdicts_by_key`, when active probing localized it)."""
+        return Alert(
+            blame=Blame.MIDDLE,
+            location_id=issue.location_id,
+            middle=issue.middle,
+            culprit_asn=verdict.asn if verdict else None,
+            first_seen=issue.first_seen,
+            duration=issue.duration,
+            impact=issue.total_client_time,
+            confidence=1.0 if verdict and verdict.confident else 0.5,
+            detail=(
+                f"Middle-segment issue on {issue.location_id} via "
+                f"{'-'.join(f'AS{a}' for a in issue.middle) or 'direct'}"
+            ),
+        )
+
+    @staticmethod
+    def segment_alert(segment_issue) -> Alert:
+        """The alert for one closed cloud- or client-segment issue."""
+        return Alert(
+            blame=segment_issue.blame,
+            location_id=segment_issue.location_id,
+            middle=(),
+            culprit_asn=segment_issue.culprit_asn,
+            first_seen=segment_issue.first_seen,
+            duration=segment_issue.duration,
+            impact=segment_issue.impact,
+            confidence=segment_issue.confidence,
+            detail=(
+                f"{segment_issue.blame} issue at key "
+                f"{segment_issue.key} ({segment_issue.duration} buckets)"
+            ),
+        )
+
     def _build_alerts(self, report: PipelineReport) -> list[Alert]:
         manager = AlertManager(self.alert_top_k)
         verdict_by_key = self.best_verdicts_by_key(report.localized)
         for issue in report.closed_middle:
-            verdict = verdict_by_key.get(issue.key)
-            manager.add(
-                Alert(
-                    blame=Blame.MIDDLE,
-                    location_id=issue.location_id,
-                    middle=issue.middle,
-                    culprit_asn=verdict.asn if verdict else None,
-                    first_seen=issue.first_seen,
-                    duration=issue.duration,
-                    impact=issue.total_client_time,
-                    confidence=1.0 if verdict and verdict.confident else 0.5,
-                    detail=(
-                        f"Middle-segment issue on {issue.location_id} via "
-                        f"{'-'.join(f'AS{a}' for a in issue.middle) or 'direct'}"
-                    ),
-                )
-            )
+            manager.add(self.middle_alert(issue, verdict_by_key.get(issue.key)))
         for segment_issue in report.closed_cloud + report.closed_client:
-            manager.add(
-                Alert(
-                    blame=segment_issue.blame,
-                    location_id=segment_issue.location_id,
-                    middle=(),
-                    culprit_asn=segment_issue.culprit_asn,
-                    first_seen=segment_issue.first_seen,
-                    duration=segment_issue.duration,
-                    impact=segment_issue.impact,
-                    confidence=segment_issue.confidence,
-                    detail=(
-                        f"{segment_issue.blame} issue at key "
-                        f"{segment_issue.key} ({segment_issue.duration} buckets)"
-                    ),
-                )
-            )
+            manager.add(self.segment_alert(segment_issue))
         return manager.tickets()

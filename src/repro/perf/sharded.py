@@ -530,7 +530,7 @@ class ShardedPipeline:
         else:
             cursor = restored.time
             report = restored.report
-            table, table_dropped = pipeline._resume_table(cursor)  # noqa: SLF001
+            table, table_dropped = pipeline._resume_table(restored)  # noqa: SLF001
             window_times = list(restored.window_times)
             generator, _ = pipeline._generator_for(self.scenario)  # noqa: SLF001
             # Checkpoints land on day boundaries, where every pending
@@ -560,7 +560,11 @@ class ShardedPipeline:
                 table = pipeline.learner.table(as_of_day=day)
                 table_day = day
             pipeline._maybe_checkpoint(  # noqa: SLF001
-                cursor, origin, window_times, report
+                cursor,
+                origin,
+                window_times,
+                report,
+                table=table if refresh else None,
             )
             seg_end = (
                 min(end, (day + 1) * BUCKETS_PER_DAY) if refresh else end

@@ -1,0 +1,411 @@
+"""The streaming daemon: BlameIt as a long-running service.
+
+:class:`BlameItDaemon` drives the pipeline's incremental step API
+(:meth:`~repro.core.pipeline.BlameItPipeline.begin_run` /
+:meth:`~repro.core.pipeline.BlameItPipeline.step` /
+:meth:`~repro.core.pipeline.BlameItPipeline.finish_run`) one bucket at a
+time: quartets arrive from a :class:`~repro.serve.source.BucketSource`,
+trackers and learners update online, alerts stream to a sink the moment
+their issue closes, and checkpoints land on the daemon's own cadence
+(every ``checkpoint_every`` buckets) rather than only at day boundaries.
+
+Because the daemon and the batch loop drive the *same* step function
+over the same state, a daemon-fed run's final report is byte-identical
+to ``pipeline.run()`` over the same window — including across a
+kill→resume cycle, and including when a retention window is active:
+closed issues older than ``retention_days`` are archived to the store
+mid-run (bounding resident memory) and spliced back, in order, before
+finalization.
+
+Consistency across crashes hinges on two orderings. The checkpoint for
+bucket ``t`` is taken *before* ``t`` is processed, and it records the
+archive cursor alongside the trimmed report — so a kill between an
+archive sweep and the next checkpoint leaves orphan chunks that resume
+simply truncates (the restored report still holds those entries). And
+the graceful-stop path checkpoints once more at the final cursor, so a
+SIGTERM'd daemon resumes exactly where it left off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _wallclock
+from typing import Callable, Sequence
+
+from repro.chaos import ChaosKill
+from repro.core.alerts import Alert
+from repro.core.pipeline import BlameItPipeline, PipelineReport, RunState
+from repro.core.quartet import QuartetBatch
+from repro.net.bgp import Timestamp
+from repro.serve.source import BucketSource, ScenarioSource
+from repro.sim.scenario import BUCKETS_PER_DAY
+from repro.store import codec
+
+#: Signature of an alert sink: called once per alert, as issues close.
+AlertSink = Callable[[Alert], None]
+
+
+class BlameItDaemon:
+    """Drive a pipeline bucket-by-bucket as a resumable service.
+
+    Args:
+        pipeline: The pipeline to drive. Attach a
+            :class:`~repro.store.checkpoint.CheckpointStore` (via
+            ``pipeline.attach_store``) for checkpoint/resume and
+            archiving; set ``warm_start`` to resume.
+        start, end: Bucket horizon ``[start, end)``. A resumed daemon
+            may extend a checkpointed run's horizon.
+        source: Where buckets come from; defaults to
+            :class:`~repro.serve.source.ScenarioSource` (the pipeline
+            generates its own buckets — the batch-equivalent mode).
+        checkpoint_every: Checkpoint cadence in buckets (checkpoints
+            land at buckets divisible by it); None disables cadence
+            checkpoints (the graceful-stop checkpoint still fires).
+        retention_days: Bound resident memory: closed issues and probe
+            verdicts whose last activity is more than this many days
+            behind the cursor are archived to the store and restored at
+            finalization. None keeps everything in memory.
+        alert_sink: Called with each :class:`~repro.core.alerts.Alert`
+            as its issue closes (streaming alerts; the final report's
+            top-k list is built at finalization as usual).
+        kill_at: Simulate a crash: raise
+            :class:`~repro.chaos.ChaosKill` immediately after the
+            checkpoint opportunity at this bucket.
+    """
+
+    def __init__(
+        self,
+        pipeline: BlameItPipeline,
+        start: Timestamp,
+        end: Timestamp,
+        *,
+        source: "BucketSource | None" = None,
+        checkpoint_every: "int | None" = None,
+        retention_days: "int | None" = None,
+        alert_sink: "AlertSink | None" = None,
+        kill_at: "int | None" = None,
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if retention_days is not None and retention_days < 1:
+            raise ValueError(
+                f"retention_days must be >= 1, got {retention_days}"
+            )
+        self.pipeline = pipeline
+        self.start = start
+        self.end = end
+        self.source = source if source is not None else ScenarioSource()
+        self.checkpoint_every = checkpoint_every
+        self.retention_days = retention_days
+        self.alert_sink = alert_sink
+        self.kill_at = kill_at
+        #: Peak number of closed issues/verdicts resident in memory at
+        #: any point of the run (the retention test pins this).
+        self.peak_tracked = 0
+        self.alerts_emitted = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._state: "RunState | None" = None
+        self._started = _wallclock.monotonic()
+        self._archive_seq = 0
+        self._archived = {"middle": 0, "cloud": 0, "client": 0, "localized": 0}
+        # Closed-list lengths already streamed to the alert sink; the
+        # archive sweep trims list fronts and rebases these.
+        self._seen_middle = 0
+        self._seen_cloud = 0
+        self._seen_client = 0
+
+    # -- control ---------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the run loop to stop after the current bucket (then take
+        a final checkpoint). Safe to call from any thread or a signal
+        handler."""
+        self._stop.set()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    # -- the run ---------------------------------------------------------
+
+    def run(self) -> "PipelineReport | None":
+        """Serve buckets until the horizon, a stop request, or the
+        planned kill. Returns the finalized report, or None when stopped
+        before the horizon (state checkpointed for a later resume)."""
+        pipeline = self.pipeline
+        state = pipeline.begin_run(self.start, self.end, regenerate=self._replay)
+        with self._lock:
+            self._state = state
+            self._archive_seq = int(state.restored_extra.get("archive_seq", 0))
+        if pipeline._store is not None:  # noqa: SLF001
+            # Archive chunks written after the restored checkpoint are
+            # orphans: their entries are still in the restored report.
+            pipeline._store.truncate_archives(self._archive_seq)  # noqa: SLF001
+        while state.cursor < self.end:
+            if self._stop.is_set():
+                self._final_checkpoint(state)
+                return None
+            time = state.cursor
+            batch = self.source.next_batch(time)
+            with self._lock:
+                pipeline._refresh_table(state, time)  # noqa: SLF001
+                self._maybe_checkpoint(state, time)
+                pipeline.step(state, batch)
+                self._stream_alerts(state)
+                self._archive_old(state)
+                self._note_tracked(state)
+        with self._lock:
+            return self._finish(state)
+
+    def _replay(self, times: Sequence[int]) -> list[QuartetBatch]:
+        """Rebuild the pending window's ingested batches after restore."""
+        pipeline = self.pipeline
+        raw = self.source.replay(times)
+        if raw is None:
+            generator, _ = pipeline._generator_for(  # noqa: SLF001
+                pipeline.scenario
+            )
+            return pipeline._regenerate_window(generator, times)  # noqa: SLF001
+        return [pipeline._ingest_batch(batch) for batch in raw]  # noqa: SLF001
+
+    def _maybe_checkpoint(self, state: RunState, time: Timestamp) -> None:
+        """Cadence checkpoint (and planned kill) before processing
+        ``time`` — suppressed at the entry bucket, like the batch loop's
+        day-boundary checkpoints."""
+        if time <= state.entry:
+            return
+        store = self.pipeline._store  # noqa: SLF001
+        if (
+            store is not None
+            and self.checkpoint_every is not None
+            and time % self.checkpoint_every == 0
+        ):
+            store.save(
+                self.pipeline,
+                time,
+                state.window_times,
+                state.report,
+                table=self.pipeline._checkpoint_table(state),  # noqa: SLF001
+                extra={"archive_seq": self._archive_seq},
+            )
+        if self.kill_at is not None and self.kill_at == time:
+            raise ChaosKill(f"daemon kill at bucket {time}")
+
+    def _final_checkpoint(self, state: RunState) -> None:
+        """Graceful-stop checkpoint at the current cursor (any bucket —
+        v2 checkpoints persist the held table, so mid-day is fine)."""
+        store = self.pipeline._store  # noqa: SLF001
+        if store is None or state.cursor <= state.entry:
+            return
+        with self._lock:
+            store.save(
+                self.pipeline,
+                state.cursor,
+                state.window_times,
+                state.report,
+                table=self.pipeline._checkpoint_table(state),  # noqa: SLF001
+                extra={"archive_seq": self._archive_seq},
+            )
+
+    # -- streaming alerts ------------------------------------------------
+
+    def _stream_alerts(self, state: RunState) -> None:
+        """Emit an alert for every issue that closed in this bucket."""
+        if self.alert_sink is None:
+            return
+        pipeline = self.pipeline
+        report = state.report
+        new_middle = report.closed_middle[self._seen_middle :]
+        if new_middle:
+            verdict_by_key = pipeline.best_verdicts_by_key(report.localized)
+            for issue in new_middle:
+                self._emit(
+                    pipeline.middle_alert(issue, verdict_by_key.get(issue.key))
+                )
+        self._seen_middle = len(report.closed_middle)
+        for tracker_closed, attr in (
+            (pipeline.cloud_tracker.closed, "_seen_cloud"),
+            (pipeline.client_tracker.closed, "_seen_client"),
+        ):
+            for issue in tracker_closed[getattr(self, attr) :]:
+                self._emit(pipeline.segment_alert(issue))
+            setattr(self, attr, len(tracker_closed))
+
+    def _emit(self, alert: Alert) -> None:
+        self.alerts_emitted += 1
+        self.alert_sink(alert)
+
+    # -- bounded-memory archiving ----------------------------------------
+
+    def _archive_old(self, state: RunState) -> None:
+        """Move closed issues/verdicts past the retention window out of
+        memory into an archive chunk (order-preserving prefix sweeps)."""
+        store = self.pipeline._store  # noqa: SLF001
+        if self.retention_days is None or store is None:
+            return
+        cutoff = state.cursor - self.retention_days * BUCKETS_PER_DAY
+        report = state.report
+        middle = _old_prefix(report.closed_middle, lambda i: i.last_seen, cutoff)
+        cloud_closed = self.pipeline.cloud_tracker.closed
+        client_closed = self.pipeline.client_tracker.closed
+        cloud = _old_prefix(cloud_closed, lambda i: i.last_seen, cutoff)
+        client = _old_prefix(client_closed, lambda i: i.last_seen, cutoff)
+        localized = _old_prefix(report.localized, lambda i: i.probed_at, cutoff)
+        if not (middle or cloud or client or localized):
+            return
+        chunk = PipelineReport(start=report.start, end=report.end)
+        chunk.closed_middle = report.closed_middle[:middle]
+        chunk.closed_cloud = cloud_closed[:cloud]
+        chunk.closed_client = client_closed[:client]
+        chunk.localized = report.localized[:localized]
+        store.append_archive(self._archive_seq, codec.report_state_dict(chunk))
+        self._archive_seq += 1
+        serials = {issue.serial for issue in chunk.closed_middle}
+        del report.closed_middle[:middle]
+        del cloud_closed[:cloud]
+        del client_closed[:client]
+        del report.localized[:localized]
+        # The middle tracker's own closed list holds the same issues;
+        # trim it too (finalize dedups archived serials via the
+        # checkpointed recorded-middle set, so no restore is needed).
+        tracker = self.pipeline.tracker
+        tracker.closed_issues = [
+            issue
+            for issue in tracker.closed_issues
+            if issue.serial not in serials
+        ]
+        self._seen_middle -= middle
+        self._seen_cloud -= cloud
+        self._seen_client -= client
+        self._archived["middle"] += middle
+        self._archived["cloud"] += cloud
+        self._archived["client"] += client
+        self._archived["localized"] += localized
+
+    def _finish(self, state: RunState) -> PipelineReport:
+        """Splice archived entries back (in order) and finalize."""
+        pipeline = self.pipeline
+        store = pipeline._store  # noqa: SLF001
+        if store is not None and sum(self._archived.values()):
+            middle: list = []
+            cloud: list = []
+            client: list = []
+            localized: list = []
+            for payload in store.archives(upto_seq=self._archive_seq):
+                chunk = codec.report_from_state(payload)
+                middle.extend(chunk.closed_middle)
+                cloud.extend(chunk.closed_cloud)
+                client.extend(chunk.closed_client)
+                localized.extend(chunk.localized)
+            report = state.report
+            report.closed_middle[:0] = middle
+            report.localized[:0] = localized
+            pipeline.cloud_tracker.closed[:0] = cloud
+            pipeline.client_tracker.closed[:0] = client
+        return pipeline.finish_run(state)
+
+    def _note_tracked(self, state: RunState) -> None:
+        pipeline = self.pipeline
+        tracked = (
+            len(state.report.closed_middle)
+            + len(state.report.localized)
+            + len(pipeline.tracker.closed_issues)
+            + len(pipeline.cloud_tracker.closed)
+            + len(pipeline.client_tracker.closed)
+        )
+        self.peak_tracked = max(self.peak_tracked, tracked)
+
+    # -- introspection (HTTP surface) ------------------------------------
+
+    def status(self) -> dict:
+        """Cursor/uptime/issue counts — the ``/status`` endpoint."""
+        with self._lock:
+            state = self._state
+            pipeline = self.pipeline
+            cursor = state.cursor if state is not None else self.start
+            open_middle = len(pipeline.tracker.open_issues)
+            open_cloud = len(pipeline.cloud_tracker.open)
+            open_client = len(pipeline.client_tracker.open)
+            closed = (
+                (len(state.report.closed_middle) if state else 0)
+                + len(pipeline.cloud_tracker.closed)
+                + len(pipeline.client_tracker.closed)
+                + self._archived["middle"]
+                + self._archived["cloud"]
+                + self._archived["client"]
+            )
+            return {
+                "start": self.start,
+                "end": self.end,
+                "cursor": cursor,
+                "buckets_done": cursor - self.start,
+                "uptime_s": _wallclock.monotonic() - self._started,
+                "open_issues": {
+                    "middle": open_middle,
+                    "cloud": open_cloud,
+                    "client": open_client,
+                },
+                "closed_issues": closed,
+                "archived_chunks": self._archive_seq,
+                "alerts_emitted": self.alerts_emitted,
+                "peak_tracked": self.peak_tracked,
+                "stopped": self._stop.is_set(),
+            }
+
+    def issues(self) -> list[dict]:
+        """Live open issues, highest measured impact first — the
+        ``/issues`` endpoint."""
+        with self._lock:
+            pipeline = self.pipeline
+            rows = [
+                {
+                    "kind": "middle",
+                    "location_id": issue.location_id,
+                    "middle": list(issue.middle),
+                    "first_seen": issue.first_seen,
+                    "last_seen": issue.last_seen,
+                    "impact": issue.total_client_time,
+                    "probed": issue.probed,
+                }
+                for issue in pipeline.tracker.open_issues.values()
+            ]
+            for tracker, kind in (
+                (pipeline.cloud_tracker, "cloud"),
+                (pipeline.client_tracker, "client"),
+            ):
+                rows.extend(
+                    {
+                        "kind": kind,
+                        "key": issue.key,
+                        "location_id": issue.location_id,
+                        "culprit_asn": issue.culprit_asn,
+                        "first_seen": issue.first_seen,
+                        "last_seen": issue.last_seen,
+                        "impact": issue.impact,
+                        "confidence": issue.confidence,
+                    }
+                    for issue in tracker.open.values()
+                )
+            rows.sort(key=lambda row: -row["impact"])
+            return rows
+
+    def metrics_snapshot(self) -> dict:
+        """The pipeline's metrics snapshot — the ``/metrics`` endpoint."""
+        with self._lock:
+            metrics = self.pipeline.metrics
+            return metrics.snapshot() if metrics.enabled else {}
+
+
+def _old_prefix(items: list, last_active, cutoff: int) -> int:
+    """Length of the leading run of ``items`` whose activity predates
+    ``cutoff``. Close order is not strictly time order, so only a prefix
+    is swept — order (hence the final report) is preserved exactly."""
+    count = 0
+    for item in items:
+        if last_active(item) >= cutoff:
+            break
+        count += 1
+    return count

@@ -1,0 +1,86 @@
+"""A minimal read-only HTTP status surface for the daemon.
+
+Stdlib-only (:class:`http.server.ThreadingHTTPServer`); three JSON
+endpoints, each answered from the daemon under its lock so responses are
+consistent snapshots of a live run:
+
+* ``/status``  — cursor, uptime, open/closed issue counts.
+* ``/issues``  — live open issues, highest impact first.
+* ``/metrics`` — the pipeline's metrics-registry snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.daemon import BlameItDaemon
+
+
+def _make_handler(daemon: BlameItDaemon):
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0].rstrip("/") or "/status"
+            if path == "/status":
+                payload = daemon.status()
+            elif path == "/issues":
+                payload = daemon.issues()
+            elif path == "/metrics":
+                payload = daemon.metrics_snapshot()
+            else:
+                self.send_error(404, "unknown endpoint")
+                return
+            body = json.dumps(payload).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass  # status polls would otherwise spam stderr
+
+    return Handler
+
+
+class StatusServer:
+    """Serve a daemon's status endpoints on a background thread.
+
+    Args:
+        daemon: The daemon to expose.
+        host: Bind address (loopback by default — this is an
+            introspection port, not a public API).
+        port: TCP port; 0 picks an ephemeral free port (read it back
+            from :attr:`port`).
+    """
+
+    def __init__(
+        self, daemon: BlameItDaemon, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._server = ThreadingHTTPServer((host, port), _make_handler(daemon))
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="blameit-status-http",
+            daemon=True,
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ephemeral port 0)."""
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "StatusServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

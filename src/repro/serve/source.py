@@ -1,0 +1,142 @@
+"""Bucket sources: where a streaming daemon's quartets come from.
+
+The daemon (:class:`repro.serve.daemon.BlameItDaemon`) pulls one
+bucket's worth of quartets per step from a :class:`BucketSource`. Two
+sources ship:
+
+* :class:`ScenarioSource` — the daemon's pipeline generates each bucket
+  from its own scenario, exactly as the batch loop would. This is the
+  replay/equivalence mode: a daemon over a scenario source produces a
+  report byte-identical to ``pipeline.run()``.
+* :class:`JsonlSource` — quartets arrive as JSON-lines rows (one quartet
+  per line) produced elsewhere; the source groups them by bucket and
+  feeds each bucket as a columnar batch.
+
+A source must also be able to *replay* buckets it already served: after
+a checkpoint restore, the pending (unflushed) probe window's batches are
+rebuilt from their bucket times.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.core.quartet import Quartet, QuartetBatch
+from repro.net.bgp import Timestamp
+from repro.net.geo import Region
+
+
+class BucketSource(ABC):
+    """Feeds a daemon one bucket of quartets at a time."""
+
+    @abstractmethod
+    def next_batch(self, time: Timestamp) -> "QuartetBatch | None":
+        """The raw (pre-chaos, pre-sanitize) quartets of bucket ``time``.
+
+        Returns None when the pipeline should generate the bucket from
+        its own scenario (the scenario source's answer); an external
+        source returns a batch, possibly empty.
+        """
+
+    def replay(self, times: Sequence[Timestamp]) -> "list[QuartetBatch] | None":
+        """Raw batches for the given buckets, for resume-window rebuild.
+
+        Returns None when the pipeline's deterministic scenario
+        regeneration applies instead (the scenario source's answer).
+        """
+        return None
+
+
+class ScenarioSource(BucketSource):
+    """Generate buckets from the pipeline's own scenario.
+
+    The daemon's step then takes the pipeline-internal generation path —
+    same generator, same per-bucket RNG — so the streamed run is
+    byte-identical to the batch run over the same window.
+    """
+
+    def next_batch(self, time: Timestamp) -> "QuartetBatch | None":
+        return None
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines quartet rows
+# ---------------------------------------------------------------------------
+
+
+def quartet_to_row(quartet: Quartet) -> dict:
+    """One quartet as a JSON-safe row (inverse of :func:`quartet_from_row`)."""
+    return {
+        "time": quartet.time,
+        "prefix24": quartet.prefix24,
+        "location_id": quartet.location_id,
+        "mobile": quartet.mobile,
+        "mean_rtt_ms": quartet.mean_rtt_ms,
+        "n_samples": quartet.n_samples,
+        "users": quartet.users,
+        "client_asn": quartet.client_asn,
+        "middle": list(quartet.middle),
+        "region": quartet.region.name,
+    }
+
+
+def quartet_from_row(row: dict) -> Quartet:
+    """Inverse of :func:`quartet_to_row`."""
+    return Quartet(
+        time=int(row["time"]),
+        prefix24=int(row["prefix24"]),
+        location_id=row["location_id"],
+        mobile=bool(row["mobile"]),
+        mean_rtt_ms=float(row["mean_rtt_ms"]),
+        n_samples=int(row["n_samples"]),
+        users=int(row["users"]),
+        client_asn=int(row["client_asn"]),
+        middle=tuple(int(asn) for asn in row["middle"]),
+        region=Region[row["region"]],
+    )
+
+
+def write_quartets_jsonl(
+    path: "str | pathlib.Path", quartets: Iterable[Quartet]
+) -> int:
+    """Write quartets as JSON lines; returns the number of rows written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for quartet in quartets:
+            handle.write(json.dumps(quartet_to_row(quartet)) + "\n")
+            count += 1
+    return count
+
+
+class JsonlSource(BucketSource):
+    """Quartets from a JSON-lines file, one quartet row per line.
+
+    The whole file is read once and grouped by bucket; each
+    :meth:`next_batch` call transposes that bucket's rows (in file
+    order) into a columnar batch. Buckets with no rows yield an empty
+    batch — the bucket still happened, it just had no traffic.
+    """
+
+    def __init__(self, path: "str | pathlib.Path") -> None:
+        self.path = pathlib.Path(path)
+        self._buckets: dict[int, list[Quartet]] = {}
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                quartet = quartet_from_row(json.loads(line))
+                self._buckets.setdefault(quartet.time, []).append(quartet)
+
+    def times(self) -> list[int]:
+        """Bucket times present in the file, ascending."""
+        return sorted(self._buckets)
+
+    def next_batch(self, time: Timestamp) -> QuartetBatch:
+        return QuartetBatch.from_quartets(self._buckets.get(time, []))
+
+    def replay(self, times: Sequence[Timestamp]) -> list[QuartetBatch]:
+        return [self.next_batch(time) for time in times]

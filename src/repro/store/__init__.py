@@ -12,10 +12,16 @@ records — and two implementations behind it:
   learner's reservoir histories, table snapshots) as one ``.npz`` file
   per key, serializing the pipeline's existing columnar arrays as-is.
 
-:class:`CheckpointStore` assembles the two into day-boundary
-checkpoint/restore for :class:`~repro.core.pipeline.BlameItPipeline`
-and :class:`~repro.perf.sharded.ShardedPipeline` — a restored run's
-report stays byte-identical to an uninterrupted one (DESIGN.md §6).
+:class:`CheckpointStore` assembles the two into checkpoint/restore for
+:class:`~repro.core.pipeline.BlameItPipeline`,
+:class:`~repro.perf.sharded.ShardedPipeline`, and the
+:class:`~repro.serve.daemon.BlameItDaemon`. Checkpoints land at day
+boundaries (batch) or on the daemon's own cadence — mid-day
+checkpoints persist the held expected-RTT table (schema v2) — and a
+restored run's report stays byte-identical to an uninterrupted one
+(DESIGN.md §6). ``keep_last`` prunes old checkpoints after each save;
+the archive records carry closed issues a retention-bounded daemon has
+evicted from memory (DESIGN.md §7).
 """
 
 from repro.store.backend import (

@@ -64,6 +64,20 @@ class StoreBackend(ABC):
     def scan(self, prefix: str = "") -> Iterator[Record]:
         """All records whose key starts with ``prefix``, in key order."""
 
+    def scan_keys(self, prefix: str = "") -> Iterator[tuple[str, str | None]]:
+        """``(key, schema)`` pairs under ``prefix``, in key order.
+
+        A keys-only scan: backends override this to answer without
+        decoding any record payload (a checkpoint's state blob can be
+        megabytes; its key is a few bytes). ``schema`` may be None when
+        the backend cannot name it without opening the record (the
+        columnar backend's directory listing). This default derives the
+        listing from :meth:`scan` and therefore *does* decode payloads —
+        it exists only so third-party backends stay source-compatible.
+        """
+        for record in self.scan(prefix):
+            yield record.key, record.schema
+
     @abstractmethod
     def delete(self, key: str) -> None:
         """Remove the record at ``key`` (no-op if absent)."""

@@ -93,6 +93,19 @@ class ColumnarBackend(StoreBackend):
         records.sort(key=lambda record: record.key)
         yield from records
 
+    def scan_keys(self, prefix: str = "") -> Iterator[tuple[str, str | None]]:
+        """Keys-only scan from the directory listing alone — no npz file
+        is opened, so no array payload is read. Schema is None (it lives
+        inside the file's header)."""
+        keys = []
+        for path in self.root.glob("*.npz"):
+            key = path.name.removesuffix(".npz").replace(_SLASH, "/")
+            if key.startswith(prefix):
+                keys.append(key)
+        keys.sort()
+        for key in keys:
+            yield key, None
+
     def delete(self, key: str) -> None:
         self._path(key).unlink(missing_ok=True)
 

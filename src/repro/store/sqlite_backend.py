@@ -87,6 +87,24 @@ class SqliteBackend(StoreBackend):
         for row in rows:
             yield self._record(row)
 
+    def scan_keys(self, prefix: str = "") -> Iterator[tuple[str, str | None]]:
+        """Keys-only scan: selects ``key, schema`` and never touches the
+        payload column, so large state blobs are not read or decoded."""
+        pattern = (
+            prefix.replace("\\", r"\\").replace("%", r"\%").replace("_", r"\_")
+            + "%"
+        )
+        try:
+            rows = self._conn.execute(
+                "SELECT key, schema FROM records "
+                "WHERE key LIKE ? ESCAPE '\\' ORDER BY key",
+                (pattern,),
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot scan prefix {prefix!r}: {exc}") from exc
+        for key, schema in rows:
+            yield key, schema
+
     def delete(self, key: str) -> None:
         try:
             with self._conn:

@@ -310,6 +310,113 @@ class TestCheckpointFlags:
         assert "--kill-at must be >= 0" in capsys.readouterr().err
 
 
+class TestServeCommand:
+    """The serve verb: run-to-horizon, kill→resume equivalence with the
+    batch pipeline, and usage-error exit codes."""
+
+    DAYS2 = ["--seed", "3", "--regions", "USA", "Europe", "--days", "2",
+             "--locations", "1"]
+    RANGE = ["--start", "240", "--end", "330"]
+
+    def test_serve_runs_to_horizon(self, tmp_path, capsys):
+        alerts = tmp_path / "alerts.jsonl"
+        code = main(
+            ["serve", *self.DAYS2, *self.RANGE, "--budget", "2",
+             "--alerts-jsonl", str(alerts)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving on http://127.0.0.1:" in out
+        assert "blame mix" in out
+        assert "alerts streamed:" in out
+        assert alerts.exists()
+
+    def test_kill_then_resume_matches_straight_through(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        straight = tmp_path / "straight.json"
+        code = main(
+            ["serve", *self.DAYS2, *self.RANGE,
+             "--save-report", str(straight)]
+        )
+        assert code == 0
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            ["serve", *self.DAYS2, *self.RANGE,
+             "--checkpoint-dir", str(ckpt),
+             "--checkpoint-every", "48", "--kill-at", "300"]
+        )
+        assert code == 3
+        assert "chaos:" in capsys.readouterr().err
+        resumed = tmp_path / "resumed.json"
+        code = main(
+            ["serve", *self.DAYS2, *self.RANGE,
+             "--resume", str(ckpt), "--checkpoint-every", "48",
+             "--save-report", str(resumed)]
+        )
+        assert code == 0
+        assert "resuming from checkpoint" in capsys.readouterr().out
+        # Metrics snapshots carry wall-clock span timings; everything
+        # else is byte-identical.
+        straight_doc = json.loads(straight.read_text())
+        resumed_doc = json.loads(resumed.read_text())
+        straight_doc.pop("metrics")
+        resumed_doc.pop("metrics")
+        assert resumed_doc == straight_doc
+
+    def test_signal_handlers_restored_after_run(self):
+        """serve must not leak its SIGTERM/SIGINT handlers into the
+        calling process — forked children (e.g. multiprocessing pool
+        workers) would inherit a handler that swallows SIGTERM."""
+        import signal
+
+        before_term = signal.getsignal(signal.SIGTERM)
+        before_int = signal.getsignal(signal.SIGINT)
+        assert main(["serve", *FAST, "--start", "150", "--end", "153"]) == 0
+        assert signal.getsignal(signal.SIGTERM) is before_term
+        assert signal.getsignal(signal.SIGINT) is before_int
+
+    def test_bad_flag_values_exit_2(self, capsys):
+        for extra, fragment in [
+            (["--checkpoint-every", "0"], "--checkpoint-every must be >= 1"),
+            (["--keep-checkpoints", "0"], "--keep-checkpoints must be >= 1"),
+            (["--retention-days", "0"], "--retention-days must be >= 1"),
+            (["--kill-at", "-1"], "--kill-at must be >= 0"),
+        ]:
+            assert main(
+                ["serve", *FAST, "--start", "150", "--end", "160", *extra]
+            ) == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error:")
+            assert fragment in err
+
+    def test_retention_requires_checkpoint_dir(self, capsys):
+        assert main(
+            ["serve", *FAST, "--start", "150", "--end", "160",
+             "--retention-days", "1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--retention-days requires --checkpoint-dir" in err
+
+    def test_conflicting_dirs_exit_2(self, tmp_path, capsys):
+        assert main(
+            ["serve", *FAST, "--start", "150", "--end", "160",
+             "--checkpoint-dir", str(tmp_path / "a"),
+             "--resume", str(tmp_path / "b")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--checkpoint-dir and --resume must name the same" in err
+
+    def test_missing_source_jsonl_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["serve", *FAST, "--start", "150", "--end", "160",
+             "--source-jsonl", str(tmp_path / "nope.jsonl")]
+        ) == 2
+        assert "cannot load quartets" in capsys.readouterr().err
+
+
 class TestWorkersFlag:
     def test_diagnose_with_workers(self, capsys):
         code = main(

@@ -20,6 +20,7 @@ from repro.io import report_to_dict
 from repro.perf.sharded import ShardedPipeline
 from repro.sim.scenario import Scenario
 from repro.store import (
+    CHECKPOINT_SCHEMA_VERSION,
     CheckpointMismatchError,
     CheckpointStore,
     ColumnarBackend,
@@ -182,6 +183,57 @@ def _digest(report) -> str:
     return json.dumps(report_to_dict(report), sort_keys=True)
 
 
+class _CountingSqlite(SqliteBackend):
+    """A sqlite backend that counts payload reads vs keys-only scans."""
+
+    def __init__(self, path):
+        super().__init__(path)
+        self.get_calls = 0
+        self.scan_calls = 0
+        self.scan_keys_calls = 0
+
+    def get(self, key):
+        self.get_calls += 1
+        return super().get(key)
+
+    def scan(self, prefix=""):
+        self.scan_calls += 1
+        return super().scan(prefix)
+
+    def scan_keys(self, prefix=""):
+        self.scan_keys_calls += 1
+        return super().scan_keys(prefix)
+
+
+def _fabricate_checkpoint(store: CheckpointStore, time: int) -> None:
+    """Write a checkpoint's records directly (save order: meta last)."""
+    store._columnar.put(
+        f"checkpoint/{time}/learner",
+        {"meta": {"fabricated": True}},
+        schema="learner-history",
+        version=CHECKPOINT_SCHEMA_VERSION,
+    )
+    store._sqlite.put(
+        f"checkpoint/{time}/state",
+        {"fabricated": True},
+        schema="pipeline-state",
+        version=CHECKPOINT_SCHEMA_VERSION,
+    )
+    store._sqlite.put(
+        f"checkpoint/{time}/meta",
+        {
+            "time": time,
+            "run": [0, time + 288],
+            "window_times": [],
+            "has_table": False,
+            "extra": {},
+            "fingerprint": "fabricated",
+        },
+        schema="checkpoint-meta",
+        version=CHECKPOINT_SCHEMA_VERSION,
+    )
+
+
 class TestCheckpointResume:
     @pytest.fixture(scope="class")
     def baseline(self, multi_day_world) -> str:
@@ -268,9 +320,52 @@ class TestCheckpointResume:
         # Different pipeline seed → different fingerprint.
         with pytest.raises(CheckpointMismatchError):
             _run(multi_day_world, store=store, warm_start=True, seed=12)
-        # Different run range than the checkpoint covers.
+        # A different start changes every bucket's position in the run.
         with pytest.raises(CheckpointMismatchError):
-            _run(multi_day_world, store=store, warm_start=True, end=END + 3)
+            _run(
+                multi_day_world, store=store, warm_start=True, start=START - 3
+            )
+        # A shorter horizon is refused — the checkpoint may already sit
+        # past it. (A *longer* horizon is allowed; see
+        # test_resume_extends_horizon.)
+        with pytest.raises(CheckpointMismatchError):
+            _run(multi_day_world, store=store, warm_start=True, end=END - 3)
+        store.close()
+
+    def test_resume_extends_horizon(
+        self, multi_day_world, tmp_path, baseline
+    ):
+        """A checkpoint taken under a shorter horizon resumes into a
+        longer run byte-identically: checkpointed state at bucket t only
+        depends on buckets before t, never on the old ``end``."""
+        store = CheckpointStore(tmp_path)
+        _run(multi_day_world, store=store, end=KILL_AT + 64)
+        assert store.latest_time() == KILL_AT
+        _, report = _run(
+            multi_day_world, store=store, warm_start=True, end=END
+        )
+        store.close()
+        assert _digest(report) == baseline
+
+    def test_latest_time_reads_no_payloads(self, tmp_path):
+        """Finding the newest checkpoint is a keys-only scan: with 50
+        checkpoints in the store, ``latest_time`` deserializes zero
+        record payloads (state blobs can be megabytes)."""
+        store = CheckpointStore(tmp_path)
+        store._sqlite.close()
+        counting = _CountingSqlite(tmp_path / "state.db")
+        store._sqlite = counting
+        times = [288 * i for i in range(50)]
+        for time in times:
+            _fabricate_checkpoint(store, time)
+        counting.get_calls = 0
+        counting.scan_calls = 0
+        counting.scan_keys_calls = 0
+        assert store.latest_time() == times[-1]
+        assert store.checkpoint_times() == times
+        assert counting.get_calls == 0
+        assert counting.scan_calls == 0
+        assert counting.scan_keys_calls >= 1
         store.close()
 
     def test_stored_table_roundtrip(self, multi_day_world, tmp_path):
@@ -286,3 +381,83 @@ class TestCheckpointResume:
         assert loaded.middle == table.middle
         assert list(loaded.cloud) == list(table.cloud)
         assert list(loaded.middle) == list(table.middle)
+
+
+class _TornDeleteSqlite(SqliteBackend):
+    """A sqlite backend that dies after a fixed number of deletes."""
+
+    def __init__(self, path, allow_deletes):
+        super().__init__(path)
+        self.allow_deletes = allow_deletes
+
+    def delete(self, key):
+        if self.allow_deletes is not None:
+            if self.allow_deletes == 0:
+                raise RuntimeError("simulated kill mid-prune")
+            self.allow_deletes -= 1
+        super().delete(key)
+
+
+class TestPrune:
+    def test_prune_keeps_newest_and_deletes_payloads(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        times = [288 * i for i in range(5)]
+        for time in times:
+            _fabricate_checkpoint(store, time)
+        store.prune(keep_last=2)
+        assert store.checkpoint_times() == times[-2:]
+        # Pruned checkpoints lose their payload records too, not just
+        # their visibility.
+        assert store._sqlite.get("checkpoint/0/state") is None
+        assert store._columnar.get("checkpoint/0/learner") is None
+        store.close()
+
+    def test_save_with_keep_last_prunes_automatically(
+        self, small_world, tmp_path
+    ):
+        store = CheckpointStore(tmp_path, keep_last=2)
+        for time in (0, 288, 576):
+            _fabricate_checkpoint(store, time)
+        pipeline = BlameItPipeline(
+            Scenario.from_world(small_world), config=_config(), seed=11
+        )
+        report = pipeline.run(0, 3)
+        store.save(pipeline, 864, [], report)
+        assert store.checkpoint_times() == [576, 864]
+        store.close()
+
+    def test_keep_last_zero_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, keep_last=0)
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.prune(0)
+        store.close()
+
+    def test_torn_prune_never_guts_a_visible_checkpoint(self, tmp_path):
+        """A kill mid-prune (here: after checkpoint 0's meta delete but
+        before its state delete) leaves invisible orphans, never a
+        checkpoint that ``latest_time`` offers but restore cannot load."""
+        store = CheckpointStore(tmp_path)
+        times = [288 * i for i in range(5)]
+        for time in times:
+            _fabricate_checkpoint(store, time)
+        store._sqlite.close()
+        torn = _TornDeleteSqlite(tmp_path / "state.db", allow_deletes=1)
+        store._sqlite = torn
+        with pytest.raises(RuntimeError):
+            store.prune(keep_last=2)
+        # Checkpoint 0 is already invisible; its orphaned payload records
+        # are harmless. Every still-visible checkpoint is complete.
+        assert store.checkpoint_times() == times[1:]
+        assert store.latest_time() == times[-1]
+        assert store._sqlite.get("checkpoint/0/meta") is None
+        assert store._sqlite.get("checkpoint/0/state") is not None
+        for time in store.checkpoint_times():
+            assert store._sqlite.get(f"checkpoint/{time}/meta") is not None
+            assert store._sqlite.get(f"checkpoint/{time}/state") is not None
+        # A later prune finishes the job.
+        torn.allow_deletes = None
+        store.prune(keep_last=2)
+        assert store.checkpoint_times() == times[-2:]
+        store.close()
