@@ -1,0 +1,94 @@
+"""Scenario-suite validation benchmark — the §6.3 scorecard, adversarially.
+
+Runs :func:`repro.analysis.validation.validate_scenario_suite` over the
+canonical ringed suite world: every incident family as a single case,
+plus each adversarial family overlapped with a staggered paper-era
+background chosen so the naive (damage-so-far) and mitigation-aware
+(benefit-remaining) impact rankings disagree.
+
+Asserts the acceptance floors — paper-era families localize at ≥ 0.8
+accuracy and every mixed case records a ranking disagreement — and
+appends the scorecard to ``BENCH_validation.json`` at the repo root so
+localization quality is tracked across commits. The scorecard itself is
+byte-deterministic per seed; only the timestamp and wall-clock vary.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from _util import emit
+
+from repro.analysis.validation import suite_world_params, validate_scenario_suite
+from repro.sim.incidents import ADVERSARIAL_ARCHETYPES, PAPER_ARCHETYPES
+from repro.sim.scenario import build_world
+
+RESULTS_FILE = pathlib.Path(__file__).parent.parent / "BENCH_validation.json"
+
+SUITE_SEED = 7
+
+#: Acceptance floor for the families the paper validates (88/88 in §6.3).
+PAPER_ACCURACY_FLOOR = 0.8
+
+
+def test_validation_suite(benchmark):
+    world = build_world(suite_world_params())
+
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(
+        validate_scenario_suite, args=(world,), kwargs={"seed": SUITE_SEED},
+        rounds=1, iterations=1,
+    )
+    seconds = time.perf_counter() - t0
+    scorecard = result.scorecard
+
+    paper = {family.value for family in PAPER_ARCHETYPES}
+    for family in sorted(paper & set(scorecard["families"])):
+        assert (
+            scorecard["families"][family]["accuracy"] >= PAPER_ACCURACY_FLOOR
+        ), f"{family} below the paper-family accuracy floor"
+
+    disagreements = {
+        entry["family"]: entry["rankings_disagree"]
+        for entry in scorecard["impact_ranking"]
+    }
+    for family in ADVERSARIAL_ARCHETYPES:
+        assert disagreements.get(family.value), (
+            f"{family.value}: mixed case must make naive and "
+            "mitigation-aware rankings disagree"
+        )
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "seconds": round(seconds, 3),
+        "suite_seed": SUITE_SEED,
+        "scorecard": scorecard,
+    }
+    history = []
+    if RESULTS_FILE.exists():
+        history = json.loads(RESULTS_FILE.read_text(encoding="utf-8"))
+    history.append(record)
+    RESULTS_FILE.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    overall = scorecard["overall"]
+    lines = [
+        f"suite run: {len(scorecard['cases'])} cases, "
+        f"{overall['incidents']} incidents, {seconds:.1f}s",
+        "family accuracies: " + ", ".join(
+            f"{family}={stats['accuracy']:.2f}"
+            for family, stats in sorted(scorecard["families"].items())
+        ),
+        "mixed-case rankings: " + ", ".join(
+            f"{family}={'disagree' if flag else 'agree'}"
+            for family, flag in sorted(disagreements.items())
+        ),
+        f"overall: {overall['matched']}/{overall['incidents']} "
+        f"({overall['accuracy']:.2%})",
+        f"ambient (chronic) blames excluded: "
+        f"{len(scorecard['ambient_blames'])}",
+    ]
+    emit("validation_suite", "\n".join(lines))

@@ -173,6 +173,34 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_val)
     p_val.add_argument("--incidents", type=int, default=10)
     p_val.add_argument("--incident-seed", type=int, default=5)
+    p_val.add_argument(
+        "--suite",
+        action="store_true",
+        help="run the adversarial scenario suite on the canonical ringed "
+        "world and print the per-family scorecard (ignores the "
+        "world-shape flags; exit 1 if a paper-era family drops below "
+        "the accuracy floor)",
+    )
+    p_val.add_argument(
+        "--suite-seed",
+        type=int,
+        default=7,
+        help="suite construction seed (--suite only; the scorecard is "
+        "byte-deterministic per seed)",
+    )
+    p_val.add_argument(
+        "--save-scorecard",
+        metavar="FILE",
+        help="write the suite scorecard as JSON (--suite only)",
+    )
+    p_val.add_argument(
+        "--accuracy-floor",
+        type=float,
+        default=0.8,
+        metavar="FRAC",
+        help="minimum localization accuracy for the paper-era families "
+        "(--suite only; default 0.8)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -705,9 +733,69 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_validate_suite(args) -> int:
+    import json
+
+    from repro.analysis.validation import (
+        suite_world_params,
+        validate_scenario_suite,
+    )
+    from repro.sim.incidents import PAPER_ARCHETYPES
+
+    world = build_world(suite_world_params())
+    result = validate_scenario_suite(world, seed=args.suite_seed)
+    scorecard = result.scorecard
+    rows = [
+        [
+            family,
+            stats["incidents"],
+            stats["matched"],
+            f"{stats['accuracy']:.2f}",
+        ]
+        for family, stats in sorted(scorecard["families"].items())
+    ]
+    print(render_table(
+        ["family", "incidents", "matched", "accuracy"],
+        rows,
+        title=f"scenario suite scorecard (seed {args.suite_seed})",
+    ))
+    for entry in scorecard["impact_ranking"]:
+        verdict = "disagree" if entry["rankings_disagree"] else "agree"
+        print(
+            f"ranking case {entry['case_id']} ({entry['family']}): "
+            f"naive vs mitigation-aware {verdict}, "
+            f"rho={entry['rank_correlation']:.2f}"
+        )
+    overall = scorecard["overall"]
+    print(
+        f"\noverall: {overall['matched']}/{overall['incidents']} "
+        f"({overall['accuracy']:.2%})"
+    )
+    if args.save_scorecard:
+        with open(args.save_scorecard, "w") as fh:
+            json.dump(scorecard, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"scorecard written to {args.save_scorecard}")
+    paper = {family.value for family in PAPER_ARCHETYPES}
+    failing = [
+        family
+        for family, stats in scorecard["families"].items()
+        if family in paper and stats["accuracy"] < args.accuracy_floor
+    ]
+    if failing:
+        print(
+            f"paper-era families below the {args.accuracy_floor:.2f} "
+            f"floor: {', '.join(sorted(failing))}"
+        )
+        return 1
+    return 0
+
+
 def _cmd_validate(args) -> int:
     import numpy as np
 
+    if args.suite:
+        return _cmd_validate_suite(args)
     if (message := _params_error(args)) is not None:
         return _fail(message)
     if args.incidents < 1:

@@ -23,9 +23,56 @@ import numpy as np
 from repro.cloud.clients import ClientPrefix
 from repro.cloud.locations import CloudLocation
 from repro.net.asn import ASPath
-from repro.net.geo import metro_distance_km
+from repro.net.geo import Metro, metro_distance_km, propagation_rtt_ms
 from repro.net.routing import Route, RouteComputer
 from repro.net.topology import ASTopology
+
+
+@dataclass(frozen=True, slots=True)
+class RingFlap:
+    """An anycast ring event remapping one metro to a farther front end.
+
+    BGP anycast occasionally re-converges so that a whole metro's
+    traffic lands on the *next* ring member instead of its nearest
+    (§2.1 footnote 2 — ring withdrawals during maintenance do exactly
+    this). While active, every client in the metro pays the extra
+    propagation to the farther location. The inflation sits on the
+    *cloud* segment — the provider's own announcement moved the metro —
+    even though from the client ISP's viewpoint nothing changed, which
+    is precisely the misattribution trap the suite scores.
+
+    Attributes:
+        flap_id: Unique id within a scenario.
+        metro_name: The remapped client metro.
+        from_location_id: The metro's normal (nearest) serving location.
+        to_location_id: The farther ring member absorbing the traffic.
+        start: First affected bucket.
+        duration: Number of affected buckets (≥ 1).
+        added_ms: Extra round-trip latency of the farther front end.
+    """
+
+    flap_id: int
+    metro_name: str
+    from_location_id: str
+    to_location_id: str
+    start: int
+    duration: int
+    added_ms: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ValueError("duration must be at least one bucket")
+        if self.added_ms <= 0:
+            raise ValueError("added_ms must be positive")
+
+    @property
+    def end(self) -> int:
+        """First bucket after the ring re-converges."""
+        return self.start + self.duration
+
+    def is_active(self, time: int) -> bool:
+        """Whether the flap affects bucket ``time``."""
+        return self.start <= time < self.end
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,6 +157,51 @@ class AnycastMapper:
             secondary = ranked[1]
             share = self.secondary_share
         return ServingAssignment(primary=primary, secondary=secondary, secondary_share=share)
+
+    def ring_order(self, metro: Metro) -> tuple[CloudLocation, ...]:
+        """All locations in the metro's anycast preference order.
+
+        Index 0 is the metro's steady-state primary; a ring flap shifts
+        the metro one position down this list.
+        """
+        return tuple(
+            sorted(
+                self.locations,
+                key=lambda loc: (metro_distance_km(loc.metro, metro), loc.location_id),
+            )
+        )
+
+    def plan_ring_flap(
+        self,
+        metro: Metro,
+        flap_id: int,
+        start: int,
+        duration: int,
+        min_added_ms: float = 12.0,
+    ) -> RingFlap | None:
+        """Plan a flap remapping ``metro`` to its next-farther ring member.
+
+        The added latency is the extra round-trip propagation between the
+        metro and the two front ends, floored at ``min_added_ms`` (even a
+        nearby fallback adds peering-handoff and queueing latency during
+        re-convergence). Returns None when the ring has a single member.
+        """
+        ranked = self.ring_order(metro)
+        if len(ranked) < 2:
+            return None
+        primary, fallback = ranked[0], ranked[1]
+        extra = propagation_rtt_ms(
+            metro_distance_km(fallback.metro, metro)
+        ) - propagation_rtt_ms(metro_distance_km(primary.metro, metro))
+        return RingFlap(
+            flap_id=flap_id,
+            metro_name=metro.name,
+            from_location_id=primary.location_id,
+            to_location_id=fallback.location_id,
+            start=start,
+            duration=duration,
+            added_ms=max(min_added_ms, float(extra)),
+        )
 
     # -- egress route selection --------------------------------------------
 

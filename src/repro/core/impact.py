@@ -77,6 +77,124 @@ def rank_by_prefix_count(records: Sequence[ImpactRecord]) -> list[ImpactRecord]:
     return sorted(records, key=lambda r: (-r.affected_prefixes, str(r.key)))
 
 
+# ---------------------------------------------------------------------------
+# Mitigation-aware ranking
+# ---------------------------------------------------------------------------
+#
+# The client-time product looks *backwards*: it credits an issue for the
+# user-minutes it has already burned. An operator deciding what to
+# mitigate *next* cares about the forward-looking quantity — the
+# user-minutes a mitigation would still recover ("Enhancing Network
+# Failure Mitigation with Performance-Aware Ranking", PAPERS.md). The two
+# orderings disagree exactly when an old, nearly-over incident has
+# accumulated more damage than a fresh one that will run much longer —
+# and when several issues share one root cause, whose pooled benefit
+# outranks any single member.
+
+
+@dataclass(frozen=True, slots=True)
+class MitigationRecord:
+    """One issue's standing at a mitigation decision point.
+
+    Attributes:
+        key: The issue identity.
+        clients: Clients currently affected (per bucket).
+        elapsed_buckets: Buckets of degradation already suffered.
+        remaining_buckets: Expected further buckets if left alone.
+        root_cause: Optional shared root-cause identity; issues sharing
+            one are mitigated together, so their benefits pool.
+    """
+
+    key: Hashable
+    clients: float
+    elapsed_buckets: float
+    remaining_buckets: float
+    root_cause: Hashable | None = None
+
+    @property
+    def naive_impact(self) -> float:
+        """Backward-looking client-time product (damage so far)."""
+        return client_time_product(self.elapsed_buckets, self.clients)
+
+    @property
+    def mitigation_benefit(self) -> float:
+        """User-minutes recovered if this issue is mitigated now."""
+        return client_time_product(self.remaining_buckets, self.clients)
+
+
+def pooled_mitigation_benefit(
+    records: Sequence[MitigationRecord],
+) -> dict[Hashable, float]:
+    """Mitigation benefit pooled by root cause.
+
+    Fixing a shared transit link recovers every metro it degrades, so the
+    benefit of mitigating a root cause is the *sum* over its members.
+    Records without a root cause pool under their own key.
+    """
+    pooled: dict[Hashable, float] = {}
+    for record in records:
+        cause = record.root_cause if record.root_cause is not None else record.key
+        pooled[cause] = pooled.get(cause, 0.0) + record.mitigation_benefit
+    return pooled
+
+
+def rank_by_naive_impact(
+    records: Sequence[MitigationRecord],
+) -> list[MitigationRecord]:
+    """Records sorted by damage already done, largest first."""
+    return sorted(records, key=lambda r: (-r.naive_impact, str(r.key)))
+
+
+def rank_by_mitigation_benefit(
+    records: Sequence[MitigationRecord],
+) -> list[MitigationRecord]:
+    """Records sorted by recoverable user-minutes, largest first.
+
+    Each record ranks by its root cause's *pooled* benefit (ties broken
+    by the record's own benefit, then key), so the members of a
+    correlated failure surface together at the top.
+    """
+    pooled = pooled_mitigation_benefit(records)
+
+    def sort_key(record: MitigationRecord) -> tuple[float, float, str]:
+        cause = record.root_cause if record.root_cause is not None else record.key
+        return (-pooled[cause], -record.mitigation_benefit, str(record.key))
+
+    return sorted(records, key=sort_key)
+
+
+def rankings_disagree(records: Sequence[MitigationRecord]) -> bool:
+    """Whether the two orderings put a different issue first."""
+    if len(records) < 2:
+        return False
+    naive = rank_by_naive_impact(records)
+    aware = rank_by_mitigation_benefit(records)
+    return naive[0].key != aware[0].key
+
+
+def rank_correlation(
+    order_a: Sequence[Hashable], order_b: Sequence[Hashable]
+) -> float:
+    """Spearman rank correlation between two orderings of the same keys.
+
+    Returns 1.0 for identical orderings, -1.0 for exact reversals; 1.0
+    for fewer than two keys (no disagreement is expressible).
+
+    Raises:
+        ValueError: If the orderings do not cover the same key set.
+    """
+    if set(order_a) != set(order_b) or len(order_a) != len(order_b):
+        raise ValueError("orderings must rank the same keys")
+    n = len(order_a)
+    if n < 2:
+        return 1.0
+    rank_b = {key: index for index, key in enumerate(order_b)}
+    d_squared = sum(
+        (index - rank_b[key]) ** 2 for index, key in enumerate(order_a)
+    )
+    return 1.0 - (6.0 * d_squared) / (n * (n * n - 1))
+
+
 def cumulative_impact_curve(ranked: Sequence[ImpactRecord]) -> list[float]:
     """Cumulative fraction of total impact covered by the top-k records.
 

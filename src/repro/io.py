@@ -18,7 +18,14 @@ from repro.core.pipeline import PipelineReport
 from repro.net.addressing import BGPPrefix
 from repro.net.geo import Region
 from repro.sim.faults import Direction, Fault, FaultRates, FaultTarget, SegmentKind
-from repro.sim.scenario import RerouteEvent, Scenario, ScenarioParams, build_world
+from repro.cloud.anycast import RingFlap
+from repro.sim.scenario import (
+    DemandSurge,
+    RerouteEvent,
+    Scenario,
+    ScenarioParams,
+    build_world,
+)
 
 _FORMAT_VERSION = 1
 
@@ -124,14 +131,31 @@ def _reroute_from_dict(data: dict[str, Any]) -> RerouteEvent:
     )
 
 
+def _surge_to_dict(surge: DemandSurge) -> dict[str, Any]:
+    return dataclasses.asdict(surge)
+
+
+def _flap_to_dict(flap: RingFlap) -> dict[str, Any]:
+    return dataclasses.asdict(flap)
+
+
 def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
-    """Scenario → reproducible JSON spec (params + faults + churn)."""
-    return {
+    """Scenario → reproducible JSON spec (params + faults + churn).
+
+    ``surges`` / ``ring_flaps`` are emitted only when present, so specs
+    written before those fields existed stay byte-identical.
+    """
+    data: dict[str, Any] = {
         "format_version": _FORMAT_VERSION,
         "params": params_to_dict(scenario.params),
         "faults": [_fault_to_dict(f) for f in scenario.faults],
         "reroutes": [_reroute_to_dict(r) for r in scenario.reroutes],
     }
+    if scenario.surges:
+        data["surges"] = [_surge_to_dict(s) for s in scenario.surges]
+    if scenario.ring_flaps:
+        data["ring_flaps"] = [_flap_to_dict(f) for f in scenario.ring_flaps]
+    return data
 
 
 def scenario_from_dict(data: dict[str, Any]) -> Scenario:
@@ -143,7 +167,9 @@ def scenario_from_dict(data: dict[str, Any]) -> Scenario:
     world = build_world(params)
     faults = tuple(_fault_from_dict(f) for f in data["faults"])
     reroutes = tuple(_reroute_from_dict(r) for r in data["reroutes"])
-    return Scenario(world, faults, reroutes)
+    surges = tuple(DemandSurge(**s) for s in data.get("surges", ()))
+    flaps = tuple(RingFlap(**f) for f in data.get("ring_flaps", ()))
+    return Scenario(world, faults, reroutes, surges=surges, ring_flaps=flaps)
 
 
 def save_scenario(scenario: Scenario, path: str | pathlib.Path) -> None:

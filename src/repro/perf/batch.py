@@ -329,6 +329,13 @@ class BatchQuartetGenerator:
             mask = loc_code == code
             if target.affected_fraction < 1.0:
                 mask = mask & (pfx_bucket < target.affected_fraction * 1000)
+            if target.prefixes is not None:
+                mask = mask & np.isin(
+                    prefix24,
+                    np.fromiter(
+                        target.prefixes, dtype=np.int64, count=len(target.prefixes)
+                    ),
+                )
             return mask
         if target.kind is SegmentKind.MIDDLE:
             if target.direction is Direction.REVERSE:
@@ -423,6 +430,9 @@ class BatchQuartetGenerator:
         expected = scenario._activity_matrix[:, bucket_of_day].copy()  # noqa: SLF001
         if is_weekend(time):
             expected *= np.where(self.enterprise, 0.35, 1.15)
+        surge = scenario.surge_multipliers(time)
+        if surge is not None:
+            expected *= surge
         counts = rng.poisson(expected)
         active = np.nonzero(counts)[0]
         noise = rng.standard_normal(len(active))

@@ -61,7 +61,9 @@ class FaultTarget:
     * ``CLOUD``: ``location_id`` set — all paths served by that location,
       or a stable hash-selected subset when ``affected_fraction`` < 1
       (a server overload hits the subset of clients hashing to the
-      overloaded servers, not the whole location).
+      overloaded servers, not the whole location). Optionally narrowed
+      to ``prefixes`` — an anycast ring flap degrades only the metro
+      remapped to a farther front end, not everyone the location serves.
     * ``MIDDLE``: ``asn`` set — that AS's contribution on every path
       through it, or only on paths whose middle segment equals
       ``path_scope`` when given.
@@ -145,9 +147,9 @@ class Fault:
         """
         target = self.target
         if target.kind is SegmentKind.CLOUD:
-            return location_id == target.location_id and target.covers_prefix(
-                prefix24
-            )
+            if location_id != target.location_id or not target.covers_prefix(prefix24):
+                return False
+            return target.prefixes is None or prefix24 in target.prefixes
         if target.kind is SegmentKind.MIDDLE:
             if target.direction is Direction.REVERSE:
                 if reverse_middle is None or target.asn not in reverse_middle:

@@ -18,6 +18,29 @@ analogue of a §6.3 case study:
 * ``CLIENT_ISP`` — "Client ISP issues in Italy": unannounced maintenance
   inside the client's ISP.
 
+Beyond the paper's case studies, four *adversarial* families stress
+blame segmentation under messy, overlapping failures (ROADMAP item 4):
+
+* ``CORRELATED_TRANSIT`` — one shared transit AS degrades several metros
+  in the same window; the correct blame is the shared segment, and
+  mitigation-aware ranking should pool the member issues' benefit.
+* ``ANYCAST_FLAP`` — an anycast ring event remaps a whole metro to a
+  farther front end mid-bucket; the inflation is the provider's doing
+  (CloudSegment), not the client ISP's, even though only that metro
+  moved.
+* ``INTER_REGION_PEERING`` — a peering path between two provider regions
+  degrades, hitting only cross-region traffic (CloudCast's cross-cloud
+  connectivity structure).
+* ``FLASH_CROWD`` — a request-cloning surge multiplies a metro's
+  connection counts with *no* RTT shift; the pipeline must not raise a
+  latency issue, but the client-count predictor is stressed through the
+  step change.
+
+Paper-era batches stay byte-compatible: :func:`generate_incidents`
+defaults to the five §6.3 families, and each incident draws from its own
+spawned RNG substream so adding families (or changing one builder) never
+perturbs the draws of another incident in the batch.
+
 Incident onsets are drawn from the affected clients' local busy hours —
 real investigations concern issues that hurt active users, and an
 incident with no traffic produces only "insufficient" labels. Targets
@@ -37,11 +60,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cloud.anycast import RingFlap
 from repro.net.asn import middle_asns
 from repro.net.bgp import Timestamp
 from repro.net.geo import Metro
 from repro.sim.faults import Fault, FaultTarget, SegmentKind
-from repro.sim.scenario import RerouteEvent, Scenario, World
+from repro.sim.scenario import DemandSurge, RerouteEvent, Scenario, World
 from repro.sim.workload import local_hour
 
 #: Local-hour window considered "busy" for incident onsets.
@@ -53,16 +77,39 @@ _MAGNITUDE_RANGE = (60.0, 140.0)
 
 
 class IncidentArchetype(enum.Enum):
-    """The five §6.3 case-study shapes."""
+    """The five §6.3 case-study shapes plus four adversarial families."""
 
     CLOUD_MAINTENANCE = "cloud_maintenance"
     PEERING_FAULT = "peering_fault"
     CLOUD_OVERLOAD = "cloud_overload"
     TRAFFIC_SHIFT = "traffic_shift"
     CLIENT_ISP = "client_isp"
+    CORRELATED_TRANSIT = "correlated_transit"
+    ANYCAST_FLAP = "anycast_flap"
+    INTER_REGION_PEERING = "inter_region_peering"
+    FLASH_CROWD = "flash_crowd"
 
     def __str__(self) -> str:
         return self.value
+
+
+#: The paper-era §6.3 case-study families — the default rotation, so
+#: batches generated before the adversarial families existed reproduce.
+PAPER_ARCHETYPES: tuple[IncidentArchetype, ...] = (
+    IncidentArchetype.CLOUD_MAINTENANCE,
+    IncidentArchetype.PEERING_FAULT,
+    IncidentArchetype.CLOUD_OVERLOAD,
+    IncidentArchetype.TRAFFIC_SHIFT,
+    IncidentArchetype.CLIENT_ISP,
+)
+
+#: The adversarial families added on top of the paper's case studies.
+ADVERSARIAL_ARCHETYPES: tuple[IncidentArchetype, ...] = (
+    IncidentArchetype.CORRELATED_TRANSIT,
+    IncidentArchetype.ANYCAST_FLAP,
+    IncidentArchetype.INTER_REGION_PEERING,
+    IncidentArchetype.FLASH_CROWD,
+)
 
 
 @dataclass(frozen=True)
@@ -76,9 +123,16 @@ class IncidentSpec:
         reroutes: Route churn that is part of the incident (traffic shift).
         start: First affected bucket.
         duration: Length in buckets.
-        expected_segment: Ground-truth blamed segment.
-        expected_culprit_asn: Ground-truth faulty AS.
+        expected_segment: Ground-truth blamed segment, or None when the
+            incident must *not* produce a latency issue (flash crowd).
+        expected_culprit_asn: Ground-truth faulty AS (None with a None
+            segment).
         description: Human-readable summary (appears in alert tickets).
+        surges: Demand surges that are part of the incident (flash crowd).
+        ring_flaps: Anycast ring events behind the incident's faults.
+        affected_location_ids: Locations the incident degrades — the
+            pooling scope for mitigation-aware ranking of correlated
+            failures (empty when single-location or not applicable).
     """
 
     incident_id: int
@@ -87,13 +141,19 @@ class IncidentSpec:
     reroutes: tuple[RerouteEvent, ...]
     start: Timestamp
     duration: int
-    expected_segment: SegmentKind
-    expected_culprit_asn: int
+    expected_segment: SegmentKind | None
+    expected_culprit_asn: int | None
     description: str
+    surges: tuple[DemandSurge, ...] = ()
+    ring_flaps: tuple[RingFlap, ...] = ()
+    affected_location_ids: tuple[str, ...] = ()
 
     def realize(self, world: World) -> Scenario:
         """A scenario containing only this incident."""
-        return Scenario(world, self.faults, self.reroutes)
+        return Scenario(
+            world, self.faults, self.reroutes,
+            surges=self.surges, ring_flaps=self.ring_flaps,
+        )
 
 
 @dataclass
@@ -107,6 +167,9 @@ class _WorldIndex:
     location_middle_counts: dict[tuple[str, tuple], int]
     middle_counts: dict[tuple, int]
     location_totals: dict[str, int]
+    middle_locations: dict[int, tuple[str, ...]]  # locations reached via AS
+    cross_region_middles: dict[tuple, int]  # cross-region slots per middle
+    metro_location_counts: dict[tuple[str, str], int]  # (location, metro)
 
 
 def _index_world(world: World) -> _WorldIndex:
@@ -128,6 +191,9 @@ def _index_world(world: World) -> _WorldIndex:
     middle_counts: dict[tuple, int] = {}
     middle_client_counts: dict[tuple[tuple, int], int] = {}
     location_slots: dict[str, int] = {}
+    middle_location_sets: dict[int, set[str]] = {}
+    cross_region_middles: dict[tuple, int] = {}
+    metro_location_counts: dict[tuple[str, str], int] = {}
     for slot in world.slots:
         location_id = slot.location.location_id
         location_slots[location_id] = location_slots.get(location_id, 0) + 1
@@ -136,6 +202,11 @@ def _index_world(world: World) -> _WorldIndex:
             continue
         middle = middle_asns(path)
         per_location_total[location_id] = per_location_total.get(location_id, 0) + 1
+        metro_location_counts[(location_id, slot.client.metro.name)] = (
+            metro_location_counts.get((location_id, slot.client.metro.name), 0) + 1
+        )
+        if slot.location.region is not slot.client.metro.region:
+            cross_region_middles[middle] = cross_region_middles.get(middle, 0) + 1
         per_location_client[(location_id, slot.client.asn)] = (
             per_location_client.get((location_id, slot.client.asn), 0) + 1
         )
@@ -152,6 +223,7 @@ def _index_world(world: World) -> _WorldIndex:
                 per_location_as.get((location_id, asn), 0) + 1
             )
             middle_metro.setdefault(asn, slot.client.metro)
+            middle_location_sets.setdefault(asn, set()).add(location_id)
 
     def max_location_share(counts: dict[tuple[str, int], int], asn: int) -> float:
         shares = [
@@ -207,6 +279,11 @@ def _index_world(world: World) -> _WorldIndex:
         location_middle_counts=location_middle_counts,
         middle_counts=middle_counts,
         location_totals=per_location_total,
+        middle_locations={
+            asn: tuple(sorted(locs)) for asn, locs in middle_location_sets.items()
+        },
+        cross_region_middles=cross_region_middles,
+        metro_location_counts=metro_location_counts,
     )
 
 
@@ -340,11 +417,16 @@ def generate_incidents(
     count: int,
     rng: np.random.Generator,
     start_range: tuple[int, int] | None = None,
+    families: tuple[IncidentArchetype, ...] | None = None,
+    first_id: int = 0,
 ) -> tuple[IncidentSpec, ...]:
     """Generate ``count`` labelled incidents over the world.
 
-    Archetypes rotate round-robin so a batch of 88 covers every case-study
-    shape.
+    Families rotate round-robin so a batch of 88 covers every requested
+    shape. Each incident draws from its own spawned RNG substream, so
+    incident ``k``'s bytes depend only on (seed, ``k``, its family) —
+    changing the family list or one builder never perturbs the other
+    incidents in the batch.
 
     Args:
         world: The shared static world.
@@ -352,20 +434,31 @@ def generate_incidents(
         rng: Seeded generator.
         start_range: Bucket range for incident onsets; defaults to
             leaving room for the longest incident before the horizon.
+        families: Archetypes to rotate through; the paper's five §6.3
+            case-study shapes when None.
+        first_id: Id of the first incident — suites combining several
+            batches over one world keep incident (and so fault) ids
+            globally unique this way.
 
     Returns:
-        The incident specs, ids 0..count-1.
+        The incident specs, ids ``first_id..first_id+count-1``.
     """
     horizon = world.params.horizon_buckets
     if start_range is None:
         start_range = (12, max(13, horizon - 72))
+    if families is None:
+        families = PAPER_ARCHETYPES
+    if not families:
+        raise ValueError("families must name at least one archetype")
     index = _index_world(world)
-    archetypes = tuple(IncidentArchetype)
     specs: list[IncidentSpec] = []
-    for incident_id in range(count):
-        archetype = archetypes[incident_id % len(archetypes)]
+    streams = rng.spawn(count) if count else []
+    for offset in range(count):
+        archetype = families[offset % len(families)]
         builder = _BUILDERS[archetype]
-        specs.append(builder(world, index, incident_id, start_range, rng))
+        specs.append(
+            builder(world, index, first_id + offset, start_range, streams[offset])
+        )
     return tuple(specs)
 
 
@@ -600,10 +693,421 @@ def _build_client_isp(
     )
 
 
+def _build_correlated_transit(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    """One shared transit AS degrades every metro routed through it.
+
+    A single unscoped middle fault whose AS fronts paths into several
+    locations — the members present as simultaneous per-location issues,
+    but the correct blame (and the correct mitigation) is the shared
+    segment. ``affected_location_ids`` records the pooling scope for
+    mitigation-aware ranking.
+    """
+    candidates = [
+        asn
+        for asn in index.middle_ranked
+        if len(index.middle_locations.get(asn, ())) >= 2
+    ]
+    if not candidates:
+        return _build_peering_fault(world, index, incident_id, start_range, rng)
+
+    def span(asn: int) -> tuple[int, int]:
+        locations = index.middle_locations[asn]
+        regions = {world.location_by_id(loc).region for loc in locations}
+        return (len(regions), len(locations))
+
+    candidates.sort(key=lambda a: (-span(a)[0], -span(a)[1], a))
+    asn = candidates[incident_id % len(candidates)]
+    locations = index.middle_locations[asn]
+    metro = index.middle_metro.get(asn)
+    start = (
+        _busy_start(metro, rng, start_range)
+        if metro is not None
+        else int(rng.integers(*start_range))
+    )
+    duration = int(rng.integers(18, 60))  # backbone repairs take a while
+    added = _magnitude(rng)
+    fault = Fault(
+        fault_id=incident_id,
+        target=FaultTarget(kind=SegmentKind.MIDDLE, asn=asn),
+        start=start,
+        duration=duration,
+        added_ms=added,
+    )
+    return IncidentSpec(
+        incident_id=incident_id,
+        archetype=IncidentArchetype.CORRELATED_TRANSIT,
+        faults=(fault,),
+        reroutes=(),
+        start=start,
+        duration=duration,
+        expected_segment=SegmentKind.MIDDLE,
+        expected_culprit_asn=asn,
+        description=(
+            f"Backbone congestion inside shared transit AS{asn} adds "
+            f"{added:.0f}ms to every path through it, degrading "
+            f"{len(locations)} locations at once"
+        ),
+        affected_location_ids=locations,
+    )
+
+
+def _gated_metro_dominates(
+    world: World,
+    location_id: str,
+    metro_name: str,
+    start: Timestamp,
+    duration: int,
+    min_share: float = 0.6,
+) -> bool:
+    """Whether the metro carries most of the location's *gated* traffic.
+
+    The inverse of :func:`_gated_share_ok`: a metro-scoped cloud fault
+    only trips Algorithm 1's cloud step if the metro's quartets dominate
+    what the location measures during the window. Static slot shares
+    undercount this — during the metro's busy hours, clients in other
+    timezones are asleep.
+    """
+    for time in range(start, start + duration, 2):
+        active = 0.0
+        scoped = 0.0
+        for slot in world.slots:
+            if slot.location.location_id != location_id:
+                continue
+            expected = (
+                world.activity.expected_connections(
+                    slot.client.users, slot.client.metro, slot.enterprise, time
+                )
+                * slot.share
+            )
+            weight = _gate_pass_probability(expected)
+            if weight <= 0.01:
+                continue
+            active += weight
+            if slot.client.metro.name == metro_name:
+                scoped += weight
+        if active <= 0 or scoped / active < min_share:
+            return False
+    return True
+
+
+def _build_anycast_flap(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    """An anycast ring event remaps a whole metro to a farther front end.
+
+    Realized as a CLOUD fault at the metro's normal serving location,
+    scoped to the metro's prefixes — the provider's announcement moved
+    the metro, so the inflation belongs to the cloud segment even though
+    from each client ISP's viewpoint nothing changed. The metro must
+    dominate its location's gated traffic during the window so the
+    location aggregate actually turns bad (a minority-metro flap
+    legitimately falls through Algorithm 1's cloud step).
+    """
+    pairs = sorted(
+        (
+            (count / index.location_totals[loc], loc, metro_name)
+            for (loc, metro_name), count in index.metro_location_counts.items()
+            if index.location_totals.get(loc, 0) > 0
+            and count / index.location_totals[loc] >= 0.25
+        ),
+        key=lambda p: (-p[0], p[1], p[2]),
+    )
+    metros_by_name = {c.metro.name: c.metro for c in world.population}
+    duration = int(rng.integers(4, 14))  # re-convergence is quick
+    added = _magnitude(rng)
+    for offset in range(len(pairs)):
+        _, location_id, metro_name = pairs[(incident_id + offset) % len(pairs)]
+        metro = metros_by_name.get(metro_name)
+        if metro is None:
+            continue
+        prefixes = frozenset(
+            c.prefix24 for c in world.population if c.metro.name == metro_name
+        )
+        if len(prefixes) < 3:
+            continue
+        # The feasible window (metro dominates AND the location carries
+        # enough gated quartets AND a farther ring member exists) can be
+        # a handful of buckets on sparse-ring worlds, so a single busy
+        # hour draw routinely misses it. Sweep forward from the draw,
+        # wrapping across the range, and take the first feasible start.
+        drawn = _busy_start(metro, rng, start_range)
+        lo, hi = start_range
+        span = max(1, hi - lo)
+        start = None
+        flap = None
+        for step in range(0, span, 2):
+            candidate = lo + (drawn - lo + step) % span
+            if not _gated_metro_dominates(
+                world, location_id, metro_name, candidate, duration
+            ):
+                continue
+            if not _location_active_enough(world, location_id, candidate, duration):
+                continue
+            planned = world.mapper.plan_ring_flap(
+                metro, incident_id, candidate, duration, min_added_ms=added
+            )
+            if planned is None or planned.from_location_id != location_id:
+                continue
+            start, flap = candidate, planned
+            break
+        if start is None or flap is None:
+            continue
+        fault = Fault(
+            fault_id=incident_id,
+            target=FaultTarget(
+                kind=SegmentKind.CLOUD, location_id=location_id, prefixes=prefixes
+            ),
+            start=start,
+            duration=duration,
+            added_ms=flap.added_ms,
+        )
+        return IncidentSpec(
+            incident_id=incident_id,
+            archetype=IncidentArchetype.ANYCAST_FLAP,
+            faults=(fault,),
+            reroutes=(),
+            start=start,
+            duration=duration,
+            expected_segment=SegmentKind.CLOUD,
+            expected_culprit_asn=world.cloud_asn,
+            description=(
+                f"Anycast ring flap remaps {metro_name} from "
+                f"{flap.from_location_id} to {flap.to_location_id} "
+                f"(+{flap.added_ms:.0f}ms for the whole metro)"
+            ),
+            ring_flaps=(flap,),
+            affected_location_ids=(location_id,),
+        )
+    # Degenerate world (single location / scattered metros): the nearest
+    # cloud-shaped incident keeps the batch full.
+    return _build_cloud_maintenance(world, index, incident_id, start_range, rng)
+
+
+def _scope_window_diagnosable(
+    world: World,
+    scope_slots: dict[str, list],
+    start: Timestamp,
+    duration: int,
+    min_gated: float = 4.5,
+) -> bool:
+    """Whether a path scope can actually be blamed during the window.
+
+    A path-scoped fault turns every quartet in its ⟨location, path⟩
+    group bad, but Algorithm 1 skips groups with fewer than
+    ``min_aggregate_quartets`` gated quartets in a bucket. Require one
+    serving location to keep its *expected* gated weight near the bar at
+    every sampled bucket; realization noise around an expectation of
+    ~4.5 clears the 5-quartet floor in roughly half the buckets, which
+    is plenty for the middle verdict to fire during the window.
+    """
+    for slots in scope_slots.values():
+        ok = True
+        for time in range(start, start + duration, 6):
+            weight = sum(
+                _gate_pass_probability(
+                    world.activity.expected_connections(
+                        slot.client.users, slot.client.metro, slot.enterprise, time
+                    )
+                    * slot.share
+                )
+                for slot in slots
+            )
+            if weight < min_gated:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def _build_inter_region_peering(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    """A peering path between two provider regions degrades.
+
+    CloudCast's structure: inter-region connectivity rides specific
+    peering paths, so a degradation there hits *only* cross-region
+    traffic — clients served in-region over the same ASes stay healthy.
+    Realized as path-scoped middle faults on qualifying middle paths
+    through the culprit AS (≥ 80 % cross-region traffic, enough slots
+    for a learned baseline). Cross-region groups are thin (sparse-ring
+    and secondary slots), so the start sweeps forward from a busy-hour
+    draw until at least one scope stays above the aggregate gate for the
+    whole window — otherwise the verdict would be "insufficient".
+    """
+    usable = set(index.middle_ranked)
+    qualified: dict[int, list[tuple]] = {}
+    for middle, cross in index.cross_region_middles.items():
+        total = index.middle_counts.get(middle, 0)
+        if total >= 8 and cross / total >= 0.8:
+            for asn in middle:
+                if asn in usable:
+                    qualified.setdefault(asn, []).append(middle)
+    candidates = sorted(
+        qualified,
+        key=lambda a: (-sum(index.middle_counts[m] for m in qualified[a]), a),
+    )
+    if not candidates:
+        return _build_peering_fault(world, index, incident_id, start_range, rng)
+    slot_middles = []
+    for slot in world.slots:
+        path = world.mapper.path_for(slot.location, slot.client)
+        if path is None:
+            continue
+        slot_middles.append((slot, middle_asns(path)))
+    lo, hi = start_range
+    span = max(1, hi - lo)
+    chosen = None
+    for pick in range(len(candidates)):
+        asn = candidates[(incident_id + pick) % len(candidates)]
+        scopes = sorted(
+            qualified[asn], key=lambda m: (-index.middle_counts[m], m)
+        )[:4]
+        scope_slots: dict[tuple, dict[str, list]] = {s: {} for s in scopes}
+        for slot, middle in slot_middles:
+            if middle in scope_slots:
+                scope_slots[middle].setdefault(
+                    slot.location.location_id, []
+                ).append(slot)
+        metro = index.middle_metro.get(asn)
+        drawn = (
+            _busy_start(metro, rng, start_range)
+            if metro is not None
+            else int(rng.integers(*start_range))
+        )
+        # Short enough to fit inside the cross-region groups' daily
+        # activity peak — a multi-hour window would inevitably dip
+        # below the aggregate gate.
+        duration = int(rng.integers(6, 18))
+        for step in range(0, span, 4):
+            start = lo + (drawn - lo + step) % span
+            usable_scopes = tuple(
+                scope
+                for scope in scopes
+                if _scope_window_diagnosable(
+                    world, scope_slots[scope], start, duration
+                )
+            )
+            if usable_scopes:
+                chosen = (asn, usable_scopes, start, duration)
+                break
+        if chosen is not None:
+            break
+    if chosen is None:
+        return _build_peering_fault(world, index, incident_id, start_range, rng)
+    asn, scopes, start, duration = chosen
+    added = _magnitude(rng)
+    faults = tuple(
+        Fault(
+            fault_id=incident_id + 1000 * j,
+            target=FaultTarget(
+                kind=SegmentKind.MIDDLE, asn=asn, path_scope=scope
+            ),
+            start=start,
+            duration=duration,
+            added_ms=added,
+        )
+        for j, scope in enumerate(scopes)
+    )
+    locations = tuple(
+        sorted(
+            {
+                loc
+                for (loc, middle) in index.location_middle_counts
+                if middle in set(scopes)
+            }
+        )
+    )
+    return IncidentSpec(
+        incident_id=incident_id,
+        archetype=IncidentArchetype.INTER_REGION_PEERING,
+        faults=faults,
+        reroutes=(),
+        start=start,
+        duration=duration,
+        expected_segment=SegmentKind.MIDDLE,
+        expected_culprit_asn=asn,
+        description=(
+            f"Inter-region peering degradation: AS{asn} adds {added:.0f}ms "
+            f"on {len(scopes)} cross-region path(s); in-region traffic "
+            f"through the same AS stays healthy"
+        ),
+        affected_location_ids=locations,
+    )
+
+
+def _build_flash_crowd(
+    world: World,
+    index: _WorldIndex,
+    incident_id: int,
+    start_range: tuple[int, int],
+    rng: np.random.Generator,
+) -> IncidentSpec:
+    """A request-cloning surge multiplies a metro's demand, RTTs unchanged.
+
+    No fault: connection counts jump, latency does not. The labelled
+    expectation is *negative* — the pipeline must not raise a latency
+    issue attributable to the surge — while the client-count predictor
+    absorbs a step change several times its history.
+    """
+    del index  # the surge targets a metro, not a fault pool
+    counts: dict[str, int] = {}
+    metros_by_name: dict[str, Metro] = {}
+    for client in world.population:
+        counts[client.metro.name] = counts.get(client.metro.name, 0) + 1
+        metros_by_name.setdefault(client.metro.name, client.metro)
+    ranked = sorted(counts, key=lambda name: (-counts[name], name))
+    metro_name = ranked[incident_id % len(ranked)]
+    metro = metros_by_name[metro_name]
+    start = _busy_start(metro, rng, start_range)
+    duration = int(rng.integers(6, 24))
+    multiplier = float(rng.uniform(2.5, 6.0))
+    surge = DemandSurge(
+        surge_id=incident_id,
+        metro_name=metro_name,
+        start=start,
+        duration=duration,
+        multiplier=multiplier,
+    )
+    return IncidentSpec(
+        incident_id=incident_id,
+        archetype=IncidentArchetype.FLASH_CROWD,
+        faults=(),
+        reroutes=(),
+        start=start,
+        duration=duration,
+        expected_segment=None,
+        expected_culprit_asn=None,
+        description=(
+            f"Flash crowd in {metro_name}: request cloning multiplies "
+            f"connection volume ×{multiplier:.1f} with no RTT shift"
+        ),
+        surges=(surge,),
+    )
+
+
 _BUILDERS = {
     IncidentArchetype.CLOUD_MAINTENANCE: _build_cloud_maintenance,
     IncidentArchetype.PEERING_FAULT: _build_peering_fault,
     IncidentArchetype.CLOUD_OVERLOAD: _build_cloud_overload,
     IncidentArchetype.TRAFFIC_SHIFT: _build_traffic_shift,
     IncidentArchetype.CLIENT_ISP: _build_client_isp,
+    IncidentArchetype.CORRELATED_TRANSIT: _build_correlated_transit,
+    IncidentArchetype.ANYCAST_FLAP: _build_anycast_flap,
+    IncidentArchetype.INTER_REGION_PEERING: _build_inter_region_peering,
+    IncidentArchetype.FLASH_CROWD: _build_flash_crowd,
 }

@@ -26,7 +26,7 @@ from typing import Iterator, NamedTuple
 
 import numpy as np
 
-from repro.cloud.anycast import AnycastMapper, ServingAssignment
+from repro.cloud.anycast import AnycastMapper, RingFlap, ServingAssignment
 from repro.cloud.clients import (
     ClientPopulation,
     ClientPrefix,
@@ -263,9 +263,24 @@ def _calibrate_targets(world: World) -> RTTTargets:
     consistently above the threshold"; we realize that by taking the
     maximum fault-free baseline RTT per (serving region, mobility) and
     applying the per-region margin.
+
+    Only consumer-ring (ring 0) service counts toward calibration: a
+    sparse anycast ring deliberately serves a slice of traffic from
+    farther locations, and folding those detours into the targets would
+    raise them so far that ordinary in-region faults never breach. The
+    detoured slice instead shows up as a persistent background
+    bad-fraction — Figure 2's ambient badness — which Algorithm 1's
+    learned-median statistics classify as ambiguous rather than blame.
     """
     worst: dict[tuple[Region, bool], float] = {}
     for slot in world.slots:
+        assignment = world.assignments.get(slot.client.prefix24)
+        if assignment is not None:
+            ring0 = {assignment.primary.location_id}
+            if assignment.secondary is not None:
+                ring0.add(assignment.secondary.location_id)
+            if slot.location.location_id not in ring0:
+                continue
         path = world.mapper.path_for(slot.location, slot.client)
         if path is None:
             continue
@@ -302,6 +317,39 @@ class RerouteEvent:
     new_path: ASPath | None
 
 
+@dataclass(frozen=True, slots=True)
+class DemandSurge:
+    """A flash-crowd / request-cloning surge in one client metro.
+
+    While active, every slot whose client sits in ``metro_name`` sees its
+    expected connection count multiplied by ``multiplier`` — more
+    quartets, more users online, *no* RTT shift. A correct pipeline must
+    not raise a latency issue for it; an incorrect client-count predictor
+    will mispredict through the step change.
+    """
+
+    surge_id: int
+    metro_name: str
+    start: Timestamp
+    duration: int
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ValueError("duration must be at least one bucket")
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+
+    @property
+    def end(self) -> Timestamp:
+        """First bucket after the surge subsides."""
+        return self.start + self.duration
+
+    def is_active(self, time: Timestamp) -> bool:
+        """Whether the surge affects bucket ``time``."""
+        return self.start <= time < self.end
+
+
 class Scenario:
     """A world plus a fault schedule and route churn over a horizon."""
 
@@ -310,10 +358,20 @@ class Scenario:
         world: World,
         faults: tuple[Fault, ...],
         reroutes: tuple[RerouteEvent, ...],
+        surges: tuple[DemandSurge, ...] = (),
+        ring_flaps: tuple[RingFlap, ...] = (),
     ) -> None:
         self.world = world
         self.faults = tuple(sorted(faults, key=lambda f: (f.start, f.fault_id)))
         self.reroutes = tuple(sorted(reroutes, key=lambda r: r.time))
+        self.surges = tuple(sorted(surges, key=lambda s: (s.start, s.surge_id)))
+        #: Ring-flap ground truth. A flap is *realized* as a CLOUD fault
+        #: scoped to the metro's prefixes (the farther front end's extra
+        #: latency is the provider's doing), so flaps never touch the
+        #: generation hot path; this tuple is the labelled record of why
+        #: those faults exist.
+        self.ring_flaps = tuple(sorted(ring_flaps, key=lambda f: (f.start, f.flap_id)))
+        self._surge_masks: dict[int, np.ndarray] = {}
         self.listener = BGPListener()
         self.tables: dict[str, BGPTable] = {
             loc.location_id: BGPTable(loc.location_id) for loc in world.locations
@@ -372,7 +430,10 @@ class Scenario:
 
     def with_faults(self, faults: tuple[Fault, ...]) -> "Scenario":
         """A scenario sharing this world but with a different fault set."""
-        return Scenario(self.world, faults, self.reroutes)
+        return Scenario(
+            self.world, faults, self.reroutes, surges=self.surges,
+            ring_flaps=self.ring_flaps,
+        )
 
     @staticmethod
     def _generate_faults(world: World, rng: np.random.Generator) -> tuple[Fault, ...]:
@@ -617,6 +678,38 @@ class Scenario:
             return 0.0
         shape = self._congestion_shape_for(client.metro)
         return amp * float(shape[time % BUCKETS_PER_DAY])
+
+    # -- demand surges -------------------------------------------------
+
+    def _surge_mask(self, surge: DemandSurge) -> np.ndarray:
+        """Boolean slot mask for one surge's metro (cached)."""
+        mask = self._surge_masks.get(surge.surge_id)
+        if mask is None:
+            mask = np.fromiter(
+                (slot.client.metro.name == surge.metro_name for slot in self.world.slots),
+                dtype=bool,
+                count=len(self.world.slots),
+            )
+            self._surge_masks[surge.surge_id] = mask
+        return mask
+
+    def surge_multipliers(self, time: Timestamp) -> np.ndarray | None:
+        """Per-slot demand multipliers for active surges, or None.
+
+        None (the common case — no surge active) keeps the hot path an
+        exact no-op: the caller skips the multiply entirely, so scenarios
+        without surges generate byte-identical telemetry to before surges
+        existed.
+        """
+        if not self.surges:
+            return None
+        active = [s for s in self.surges if s.is_active(time)]
+        if not active:
+            return None
+        multipliers = np.ones(len(self.world.slots))
+        for surge in active:
+            multipliers[self._surge_mask(surge)] *= surge.multiplier
+        return multipliers
 
     # -- faults -------------------------------------------------------
 
@@ -914,6 +1007,9 @@ class Scenario:
         expected = self._activity_matrix[:, bucket_of_day].copy()
         if is_weekend(time):
             expected *= np.where(self._enterprise_flags, 0.35, 1.15)
+        surge = self.surge_multipliers(time)
+        if surge is not None:
+            expected *= surge
         counts = rng.poisson(expected)
         active_indexes = np.nonzero(counts)[0]
         noise = rng.standard_normal(len(active_indexes))
@@ -982,7 +1078,8 @@ class Scenario:
         samples: list[RTTSample] = []
         bucket_of_day = time % BUCKETS_PER_DAY
         rate = world.activity.params.connections_per_user
-        for slot in world.slots:
+        surge = self.surge_multipliers(time)
+        for index, slot in enumerate(world.slots):
             client = slot.client
             diurnal = self._diurnal_array(client.metro.name, slot.enterprise, client.metro)
             expected = (
@@ -992,6 +1089,8 @@ class Scenario:
                 * weekend_factor(time, slot.enterprise)
                 * slot.share
             )
+            if surge is not None:
+                expected *= float(surge[index])
             n = int(rng.poisson(expected))
             if n < 1:
                 continue

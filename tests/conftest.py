@@ -34,6 +34,26 @@ def small_world(small_params):
 
 
 @pytest.fixture(scope="session")
+def suite_params() -> ScenarioParams:
+    """The canonical scenario-suite world (rings=3, fat sparse ring).
+
+    Ring 2's membership misses EUROPE entirely, so European clients'
+    ring-2 slots are served cross-region with real weight — required by
+    the inter-region peering incident family. Kept in sync with
+    :func:`repro.analysis.validation.suite_world_params`.
+    """
+    from repro.analysis.validation import suite_world_params
+
+    return suite_world_params()
+
+
+@pytest.fixture(scope="session")
+def suite_world(suite_params):
+    """A session-shared ringed world for scenario-suite tests."""
+    return build_world(suite_params)
+
+
+@pytest.fixture(scope="session")
 def multi_day_params() -> ScenarioParams:
     """Two regions, one location each, three simulated days — the
     smallest world whose runs span multiple day-boundary table

@@ -14,12 +14,14 @@ reproduce exactly:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import numpy as np
 import pytest
 
-from repro.chaos import FaultPlan
+from repro.analysis.validation import suite_world_params
+from repro.chaos import ChaosKill, FaultPlan
 from repro.core.config import BlameItConfig
 from repro.core.passive import PassiveLocalizer
 from repro.core.pipeline import BlameItPipeline
@@ -27,7 +29,13 @@ from repro.core.thresholds import ExpectedRTTLearner
 from repro.io import report_to_dict
 from repro.obs import MetricsRegistry, validate_snapshot
 from repro.perf.sharded import ShardedPipeline, _ShardRunner
-from repro.sim.scenario import Scenario
+from repro.sim.incidents import (
+    ADVERSARIAL_ARCHETYPES,
+    PAPER_ARCHETYPES,
+    generate_incidents,
+)
+from repro.sim.scenario import Scenario, build_world
+from repro.store import CheckpointStore
 
 from tests.test_perf import _random_quartets, _random_table, _targets
 
@@ -224,3 +232,129 @@ class TestShardedEquivalence:
         assert counters["shard.errors"] == 1
         assert counters["retry.shard.recovered"] == 1
         assert report_json(got) == report_json(self._sequential(trained))
+
+
+class TestSuiteScenarioEquivalence:
+    """The scenario-suite's churn — demand surges, anycast ring flaps,
+    correlated transit faults, reroutes — must survive the sharded
+    transport and the checkpoint store byte-identically.
+
+    One scenario carries every incident family at once (the mixed-suite
+    worst case), on a two-day variant of the canonical suite world so
+    the run crosses a day-boundary checkpoint. Seed 7 places all nine
+    family windows inside the run; the fixture asserts it so a future
+    placement drift fails loudly instead of silently weakening the test.
+    """
+
+    START, END = 132, 400
+    KILL_AT = 288  # the one day boundary inside [START, END)
+
+    @pytest.fixture(scope="class")
+    def suite_world_2d(self):
+        params = dataclasses.replace(suite_world_params(), duration_days=2)
+        return build_world(params)
+
+    @pytest.fixture(scope="class")
+    def suite_specs(self, suite_world_2d):
+        families = PAPER_ARCHETYPES + ADVERSARIAL_ARCHETYPES
+        specs = generate_incidents(
+            suite_world_2d, len(families), np.random.default_rng(7),
+            families=families,
+        )
+        for spec in specs:
+            assert spec.start < self.END, spec.archetype
+            assert spec.start + spec.duration > self.START, spec.archetype
+        assert any(s.surges for s in specs)
+        assert any(s.ring_flaps for s in specs)
+        return specs
+
+    @staticmethod
+    def _config(**overrides) -> BlameItConfig:
+        return BlameItConfig(
+            history_days=1, background_interval_buckets=36, **overrides
+        )
+
+    def _run(self, world, specs, *, workers=None, store=None,
+             warm_start=False, kill=None):
+        # Fresh scenario per run: quartet generation draws from the
+        # scenario's shared RNG stream, so runs must not share one.
+        scenario = Scenario(
+            world,
+            tuple(f for s in specs for f in s.faults),
+            tuple(r for s in specs for r in s.reroutes),
+            surges=tuple(g for s in specs for g in s.surges),
+            ring_flaps=tuple(f for s in specs for f in s.ring_flaps),
+        )
+        chaos = (
+            FaultPlan(seed=1, kill_at_bucket=kill) if kill is not None
+            else None
+        )
+        if workers is not None:
+            pipeline = ShardedPipeline(
+                scenario,
+                config=self._config(vectorized_passive=True),
+                seed=11,
+                n_workers=workers,
+                buckets_per_shard=13,
+                store=store,
+                warm_start=warm_start,
+                chaos=chaos,
+            )
+        else:
+            pipeline = BlameItPipeline(
+                scenario,
+                config=self._config(),
+                seed=11,
+                rng_per_bucket=True,
+                store=store,
+                warm_start=warm_start,
+                chaos=chaos,
+            )
+        if not warm_start:
+            pipeline.warmup(0, 96, stride=4)
+        return pipeline.run(self.START, self.END)
+
+    @pytest.fixture(scope="class")
+    def baseline(self, suite_world_2d, suite_specs) -> str:
+        """The uninterrupted sequential run's digest."""
+        report = self._run(suite_world_2d, suite_specs)
+        # The mixed faults are not a no-op over this window.
+        assert report.closed_cloud or report.closed_client
+        return report_json(report)
+
+    def test_two_workers_byte_identical(
+        self, suite_world_2d, suite_specs, baseline
+    ):
+        got = self._run(suite_world_2d, suite_specs, workers=2)
+        assert report_json(got) == baseline
+
+    def test_sequential_kill_resume_byte_identical(
+        self, suite_world_2d, suite_specs, baseline, tmp_path
+    ):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ChaosKill):
+            self._run(
+                suite_world_2d, suite_specs, store=store, kill=self.KILL_AT
+            )
+        assert store.latest_time() == self.KILL_AT
+        report = self._run(
+            suite_world_2d, suite_specs, store=store, warm_start=True
+        )
+        store.close()
+        assert report_json(report) == baseline
+
+    def test_sharded_kill_resume_byte_identical(
+        self, suite_world_2d, suite_specs, baseline, tmp_path
+    ):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ChaosKill):
+            self._run(
+                suite_world_2d, suite_specs, workers=2, store=store,
+                kill=self.KILL_AT,
+            )
+        report = self._run(
+            suite_world_2d, suite_specs, workers=2, store=store,
+            warm_start=True,
+        )
+        store.close()
+        assert report_json(report) == baseline

@@ -1,0 +1,92 @@
+"""Golden regression test for the scenario-suite scorecard.
+
+The canonical suite world's full scorecard — per-family accuracies,
+blame confusion matrix, per-case outcomes, and the naive vs
+mitigation-aware ranking records — is checked in at
+``tests/golden/validation_scorecard.json``. Any drift in incident
+generation, suite construction, the pipeline, or scoring fails this
+test with a unified diff.
+
+Regenerate (only after an *intentional* behavior change)::
+
+    PYTHONPATH=src:tests python -m test_golden_scorecard
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+from repro.analysis.validation import (
+    suite_world_params,
+    validate_scenario_suite,
+)
+from repro.sim.incidents import ADVERSARIAL_ARCHETYPES
+from repro.sim.scenario import build_world
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "validation_scorecard.json"
+
+#: Mirrors the benchmark and the CLI default so all three surfaces agree.
+SUITE_SEED = 7
+
+
+def build_golden_scorecard(world=None) -> dict:
+    """Run the canonical suite and return its scorecard."""
+    world = world or build_world(suite_world_params())
+    return validate_scenario_suite(world, seed=SUITE_SEED).scorecard
+
+
+def canonical_json(scorecard: dict) -> str:
+    """The scorecard as deterministic, diff-friendly JSON."""
+    return json.dumps(scorecard, indent=2, sort_keys=True) + "\n"
+
+
+def golden_diff(expected: str, got: str) -> str:
+    return "".join(
+        difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            got.splitlines(keepends=True),
+            fromfile="tests/golden/validation_scorecard.json",
+            tofile="current run",
+            n=3,
+        )
+    )
+
+
+class TestGoldenScorecard:
+    def test_scorecard_matches_golden(self, suite_world):
+        assert GOLDEN_PATH.exists(), (
+            "golden scorecard missing; regenerate with "
+            "`PYTHONPATH=src:tests python -m test_golden_scorecard`"
+        )
+        got = canonical_json(build_golden_scorecard(suite_world))
+        expected = GOLDEN_PATH.read_text(encoding="utf-8")
+        if got != expected:
+            diff = golden_diff(expected, got)
+            raise AssertionError(
+                "suite scorecard drifted from the golden file; if the "
+                "change is intentional, regenerate with "
+                "`PYTHONPATH=src:tests python -m test_golden_scorecard`\n"
+                + diff
+            )
+
+    def test_golden_scorecard_is_nontrivial(self):
+        scorecard = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        assert scorecard["overall"]["incidents"] > 0
+        families = set(scorecard["families"])
+        # Every adversarial family must actually be present — a builder
+        # silently falling back to a paper-era shape would drop it.
+        assert {f.value for f in ADVERSARIAL_ARCHETYPES} <= families
+        # Every mixed case records a naive vs mitigation-aware flip.
+        assert scorecard["impact_ranking"], "no mixed ranking entries"
+        for entry in scorecard["impact_ranking"]:
+            assert entry["rankings_disagree"], entry["family"]
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        canonical_json(build_golden_scorecard()), encoding="utf-8"
+    )
+    print(f"golden scorecard written to {GOLDEN_PATH}")

@@ -1,0 +1,173 @@
+"""Hypothesis property tests over labelled incident generation.
+
+Four invariants, over every archetype (paper-era and adversarial) and
+arbitrary seeds:
+
+* windows — specs and their fault/churn schedules stay inside the
+  world horizon and inside the spec's own [start, start+duration);
+* non-empty fault masks — every fault a spec carries applies to at
+  least one live ⟨location, path, prefix⟩, and a flash crowd's surge
+  targets a populated metro (a dead schedule could never be validated);
+* label consistency — expected_segment/expected_culprit_asn agree with
+  the archetype's contract, including after documented fallbacks;
+* byte-determinism — same seed, same bytes; and because each incident
+  draws from its own spawned substream, a batch prefix is stable no
+  matter how many more incidents follow it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.faults import SegmentKind
+from repro.sim.incidents import (
+    ADVERSARIAL_ARCHETYPES,
+    PAPER_ARCHETYPES,
+    IncidentArchetype,
+    generate_incidents,
+)
+
+ALL_FAMILIES = PAPER_ARCHETYPES + ADVERSARIAL_ARCHETYPES
+
+#: The labelling contract per archetype (None = negative expectation).
+EXPECTED_SEGMENT = {
+    IncidentArchetype.CLOUD_MAINTENANCE: SegmentKind.CLOUD,
+    IncidentArchetype.CLOUD_OVERLOAD: SegmentKind.CLOUD,
+    IncidentArchetype.PEERING_FAULT: SegmentKind.MIDDLE,
+    IncidentArchetype.TRAFFIC_SHIFT: SegmentKind.MIDDLE,
+    IncidentArchetype.CLIENT_ISP: SegmentKind.CLIENT,
+    IncidentArchetype.CORRELATED_TRANSIT: SegmentKind.MIDDLE,
+    IncidentArchetype.ANYCAST_FLAP: SegmentKind.CLOUD,
+    IncidentArchetype.INTER_REGION_PEERING: SegmentKind.MIDDLE,
+    IncidentArchetype.FLASH_CROWD: None,
+}
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _all_specs(world, seed: int):
+    return generate_incidents(
+        world, len(ALL_FAMILIES), np.random.default_rng(seed),
+        families=ALL_FAMILIES,
+    )
+
+
+class TestWindows:
+    @SETTINGS
+    @given(seed=seeds)
+    def test_specs_and_schedules_inside_horizon(self, suite_world, seed):
+        horizon = suite_world.params.horizon_buckets
+        for spec in _all_specs(suite_world, seed):
+            assert 0 <= spec.start < horizon
+            assert spec.duration >= 1
+            assert spec.start + spec.duration <= horizon
+            window = (spec.start, spec.start + spec.duration)
+            for fault in spec.faults:
+                assert window[0] <= fault.start
+                assert fault.start + fault.duration <= window[1]
+            for reroute in spec.reroutes:
+                assert window[0] <= reroute.time <= window[1]
+            for surge in spec.surges:
+                assert window[0] <= surge.start
+                assert surge.start + surge.duration <= window[1]
+            for flap in spec.ring_flaps:
+                assert window[0] <= flap.start
+                assert flap.start + flap.duration <= window[1]
+
+
+class TestFaultMasks:
+    @SETTINGS
+    @given(seed=seeds)
+    def test_every_fault_applies_to_a_live_path(self, suite_world, seed):
+        """No dead schedules: each fault targets something that exists."""
+        paths = []
+        for slot in suite_world.slots:
+            path = suite_world.mapper.path_for(slot.location, slot.client)
+            if path is not None:
+                paths.append((slot, path))
+        metros = {c.metro.name for c in suite_world.population}
+        for spec in _all_specs(suite_world, seed):
+            for fault in spec.faults:
+                assert any(
+                    fault.applies_to(
+                        slot.location.location_id,
+                        path,
+                        slot.client.prefix24,
+                        slot.client.asn,
+                    )
+                    for slot, path in paths
+                ), f"{spec.archetype}: fault {fault.fault_id} targets nothing"
+            for surge in spec.surges:
+                assert surge.metro_name in metros
+                assert surge.multiplier > 1.0
+
+
+class TestLabels:
+    @SETTINGS
+    @given(seed=seeds)
+    def test_labels_follow_archetype_contract(self, suite_world, seed):
+        for spec in _all_specs(suite_world, seed):
+            expected = EXPECTED_SEGMENT[spec.archetype]
+            assert spec.expected_segment is expected
+            if expected is SegmentKind.CLOUD:
+                assert spec.expected_culprit_asn == suite_world.cloud_asn
+            elif expected is None:
+                assert spec.expected_culprit_asn is None
+                assert spec.surges and not spec.faults
+            else:
+                assert spec.expected_culprit_asn is not None
+                assert spec.faults
+
+    @SETTINGS
+    @given(seed=seeds)
+    def test_middle_and_client_culprits_match_fault_targets(
+        self, suite_world, seed
+    ):
+        for spec in _all_specs(suite_world, seed):
+            if spec.expected_segment in (SegmentKind.MIDDLE, SegmentKind.CLIENT):
+                if spec.faults:
+                    assert {f.target.asn for f in spec.faults} == {
+                        spec.expected_culprit_asn
+                    }
+
+
+class TestDeterminism:
+    @SETTINGS
+    @given(seed=seeds)
+    def test_same_seed_same_bytes(self, suite_world, seed):
+        a = _all_specs(suite_world, seed)
+        b = _all_specs(suite_world, seed)
+        assert a == b
+
+    @SETTINGS
+    @given(seed=seeds, prefix=st.integers(min_value=1, max_value=8))
+    def test_batch_prefix_stable_under_growth(self, suite_world, seed, prefix):
+        """Spawned substreams: incident ``k`` depends only on (seed, k,
+        family) — generating a longer batch never perturbs the prefix."""
+        full = _all_specs(suite_world, seed)
+        short = generate_incidents(
+            suite_world, prefix, np.random.default_rng(seed),
+            families=ALL_FAMILIES,
+        )
+        assert full[:prefix] == short
+
+    @SETTINGS
+    @given(seed=seeds, first_id=st.integers(min_value=0, max_value=10_000))
+    def test_first_id_offsets_every_incident_id(
+        self, suite_world, seed, first_id
+    ):
+        specs = generate_incidents(
+            suite_world, 4, np.random.default_rng(seed),
+            families=ALL_FAMILIES, first_id=first_id,
+        )
+        assert [s.incident_id for s in specs] == [
+            first_id + k for k in range(4)
+        ]

@@ -5,6 +5,8 @@ import pytest
 
 from repro.sim.faults import SegmentKind
 from repro.sim.incidents import (
+    ADVERSARIAL_ARCHETYPES,
+    PAPER_ARCHETYPES,
     IncidentArchetype,
     generate_incidents,
 )
@@ -23,8 +25,26 @@ class TestGenerateIncidents:
 
     def test_archetypes_round_robin(self, specs):
         archetypes = [s.archetype for s in specs]
-        assert set(archetypes) == set(IncidentArchetype)
+        # Defaults rotate through the paper-era families only; the
+        # adversarial families are opt-in via ``families=``.
+        assert set(archetypes) == set(PAPER_ARCHETYPES)
         assert archetypes[0] == archetypes[5] == archetypes[10]
+
+    def test_families_parameter_selects_adversarial(self, suite_world):
+        specs = generate_incidents(
+            suite_world,
+            len(ADVERSARIAL_ARCHETYPES),
+            np.random.default_rng(3),
+            families=ADVERSARIAL_ARCHETYPES,
+        )
+        # Builders may fall back to a paper-era shape on degenerate
+        # worlds; the ringed suite world is rich enough that none should.
+        assert {s.archetype for s in specs} == set(ADVERSARIAL_ARCHETYPES)
+
+    def test_all_archetypes_covered(self):
+        assert set(PAPER_ARCHETYPES) | set(ADVERSARIAL_ARCHETYPES) == set(
+            IncidentArchetype
+        )
 
     def test_expected_segment_consistent_with_archetype(self, specs):
         expectations = {

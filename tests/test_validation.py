@@ -4,14 +4,27 @@ import numpy as np
 import pytest
 
 from repro.analysis.validation import (
+    SuiteCase,
+    build_scenario_suite,
     build_warmup_state,
     corroboration_ratios,
+    score_case,
+    suite_world_params,
     validate_incident,
+    validate_scenario_suite,
 )
 from repro.baselines.asmetro import as_metro_quartets
-from repro.core.pipeline import BlameItPipeline
+from repro.core.blame import Blame
+from repro.core.pipeline import BlameItPipeline, PipelineReport, SegmentIssue
 from repro.sim.faults import Fault, FaultTarget, SegmentKind
-from repro.sim.incidents import generate_incidents
+from repro.sim.incidents import (
+    ADVERSARIAL_ARCHETYPES,
+    PAPER_ARCHETYPES,
+    DemandSurge,
+    IncidentArchetype,
+    IncidentSpec,
+    generate_incidents,
+)
 from repro.sim.scenario import Scenario
 
 
@@ -107,3 +120,312 @@ class TestCorroboration:
         path_mean = np.mean(list(path_ratios.values()))
         metro_mean = np.mean(list(metro_ratios.values()))
         assert path_mean >= metro_mean - 0.05
+
+
+def _spec(
+    incident_id,
+    segment,
+    asn,
+    start=150,
+    duration=12,
+    archetype=IncidentArchetype.PEERING_FAULT,
+    surges=(),
+):
+    """A minimal hand-built incident label for scoring tests."""
+    return IncidentSpec(
+        incident_id=incident_id,
+        archetype=archetype,
+        faults=(),
+        reroutes=(),
+        start=start,
+        duration=duration,
+        expected_segment=segment,
+        expected_culprit_asn=asn,
+        description="synthetic",
+        surges=tuple(surges),
+    )
+
+
+def _cloud_issue(location_id, first, last, impact):
+    return SegmentIssue(
+        blame=Blame.CLOUD, key=location_id, location_id=location_id,
+        culprit_asn=None, first_seen=first, last_seen=last, impact=impact,
+    )
+
+
+def _client_issue(asn, location_id, first, last, impact):
+    return SegmentIssue(
+        blame=Blame.CLIENT, key=asn, location_id=location_id,
+        culprit_asn=asn, first_seen=first, last_seen=last, impact=impact,
+    )
+
+
+def _report(cloud=(), client=()):
+    return PipelineReport(
+        start=0, end=300, closed_cloud=list(cloud), closed_client=list(client)
+    )
+
+
+class TestValidateIncidentEdgeCases:
+    def test_sub_noise_fault_never_matches_its_label(
+        self, small_world, warmup
+    ):
+        """A fault too small to breach any target is invisible to the
+        pipeline: whatever blame (if any) surfaces is ambient noise,
+        never the injected middle AS — and the outcome must not match."""
+        asn = small_world.middle_asn_pool()[0]
+        spec = IncidentSpec(
+            incident_id=0,
+            archetype=IncidentArchetype.PEERING_FAULT,
+            faults=(
+                Fault(
+                    fault_id=0,
+                    target=FaultTarget(kind=SegmentKind.MIDDLE, asn=asn),
+                    start=150,
+                    duration=12,
+                    added_ms=2.0,
+                ),
+            ),
+            reroutes=(),
+            start=150,
+            duration=12,
+            expected_segment=SegmentKind.MIDDLE,
+            expected_culprit_asn=asn,
+            description="sub-noise fault",
+        )
+        outcome = validate_incident(small_world, spec, warmup)
+        assert not outcome.matched
+        assert (outcome.blamed_segment, outcome.culprit_asn) != (
+            SegmentKind.MIDDLE,
+            asn,
+        )
+
+    def test_corroboration_ratios_on_issue_free_window(
+        self, small_world, warmup
+    ):
+        """No latency issues in the window -> empty ratios, gracefully."""
+        scenario = Scenario(small_world, (), ())
+        ratios = corroboration_ratios(scenario, 150, 156, warmup.table)
+        assert ratios == {}
+
+
+class TestScoreCase:
+    """Attribution semantics over synthetic reports: pooling, claims,
+    ambient discounts, and the flash-crowd negative expectation."""
+
+    def test_zero_issues_nothing_blamed(self, small_world):
+        spec = _spec(0, SegmentKind.CLOUD, small_world.cloud_asn)
+        (outcome,) = score_case(
+            small_world, SuiteCase(0, (spec,), "single"), _report()
+        )
+        assert outcome.blamed_segment is None
+        assert not outcome.matched
+
+    def test_multi_issue_pooling_beats_single_larger_issue(self, small_world):
+        """Two client issues naming one AS pool into a single candidate
+        that outweighs a larger lone cloud issue."""
+        asn = small_world.population.asns[0]
+        spec = _spec(0, SegmentKind.CLIENT, asn)
+        report = _report(
+            cloud=[_cloud_issue("edge-X", 150, 160, 50.0)],
+            client=[
+                _client_issue(asn, "edge-X", 150, 158, 30.0),
+                _client_issue(asn, "edge-Y", 152, 162, 30.0),
+            ],
+        )
+        (outcome,) = score_case(
+            small_world, SuiteCase(0, (spec,), "single"), report
+        )
+        assert outcome.blamed_segment is SegmentKind.CLIENT
+        assert outcome.culprit_asn == asn
+        assert outcome.matched
+
+    def test_overlapping_incidents_each_match_their_own_blame(
+        self, small_world
+    ):
+        """Two concurrent incidents: the cloud incident's (larger) blame
+        is claimed by it, so the client incident is matched against its
+        own smaller blame instead of losing the dominance contest."""
+        asn = small_world.population.asns[0]
+        cloud_spec = _spec(0, SegmentKind.CLOUD, small_world.cloud_asn)
+        client_spec = _spec(1, SegmentKind.CLIENT, asn)
+        report = _report(
+            cloud=[_cloud_issue("edge-X", 148, 164, 500.0)],
+            client=[_client_issue(asn, "edge-X", 150, 160, 10.0)],
+        )
+        outcomes = score_case(
+            small_world,
+            SuiteCase(0, (cloud_spec, client_spec), "mixed"),
+            report,
+        )
+        assert all(o.matched for o in outcomes)
+
+    def test_ambient_pair_discounted_unless_expected(self, small_world):
+        """A chronic (ambient) blame never outcompetes an incident's
+        expected blame — but an incident *expecting* the ambient pair
+        must still find it."""
+        asn_expected = small_world.population.asns[0]
+        asn_ambient = small_world.population.asns[1]
+        ambient = frozenset({(SegmentKind.CLIENT, asn_ambient)})
+        spec = _spec(0, SegmentKind.CLIENT, asn_expected)
+        report = _report(
+            client=[
+                _client_issue(asn_ambient, "edge-X", 148, 164, 500.0),
+                _client_issue(asn_expected, "edge-X", 150, 160, 10.0),
+            ],
+        )
+        case = SuiteCase(0, (spec,), "single")
+        (with_discount,) = score_case(
+            small_world, case, report, ambient_pairs=ambient
+        )
+        assert with_discount.matched
+        (without_discount,) = score_case(small_world, case, report)
+        assert not without_discount.matched
+        # The ambient pair stays eligible for a spec that expects it.
+        expecting = _spec(1, SegmentKind.CLIENT, asn_ambient)
+        (outcome,) = score_case(
+            small_world,
+            SuiteCase(1, (expecting,), "single"),
+            report,
+            ambient_pairs=ambient,
+        )
+        assert outcome.matched
+
+    @pytest.fixture
+    def surge_metro(self, small_world):
+        metro = small_world.population.prefixes[0].metro
+        locations = {
+            slot.location.location_id
+            for slot in small_world.slots
+            if slot.client.metro.name == metro.name
+        }
+        return metro.name, sorted(locations)
+
+    def _flash_spec(self, metro_name):
+        return _spec(
+            0, None, None,
+            archetype=IncidentArchetype.FLASH_CROWD,
+            surges=[
+                DemandSurge(
+                    surge_id=0, metro_name=metro_name,
+                    start=150, duration=12, multiplier=3.0,
+                )
+            ],
+        )
+
+    def test_flash_crowd_violated_by_in_scope_issue(
+        self, small_world, surge_metro
+    ):
+        metro_name, locations = surge_metro
+        report = _report(cloud=[_cloud_issue(locations[0], 150, 158, 40.0)])
+        (outcome,) = score_case(
+            small_world,
+            SuiteCase(0, (self._flash_spec(metro_name),), "single"),
+            report,
+        )
+        assert not outcome.matched
+        assert outcome.blamed_segment is SegmentKind.CLOUD
+
+    def test_flash_crowd_ignores_out_of_scope_issue(
+        self, small_world, surge_metro
+    ):
+        metro_name, locations = surge_metro
+        report = _report(
+            cloud=[_cloud_issue("not-a-serving-location", 150, 158, 40.0)]
+        )
+        (outcome,) = score_case(
+            small_world,
+            SuiteCase(0, (self._flash_spec(metro_name),), "single"),
+            report,
+        )
+        assert outcome.matched
+        assert outcome.blamed_segment is None
+
+
+class TestBuildScenarioSuite:
+    @pytest.fixture(scope="class")
+    def suite(self, suite_world):
+        return build_scenario_suite(suite_world, seed=7)
+
+    def test_deterministic(self, suite_world, suite):
+        assert suite == build_scenario_suite(suite_world, seed=7)
+
+    def test_structure_singles_then_mixed(self, suite):
+        families = PAPER_ARCHETYPES + ADVERSARIAL_ARCHETYPES
+        singles = [c for c in suite if c.kind == "single"]
+        mixed = [c for c in suite if c.kind == "mixed"]
+        assert len(singles) == len(families)
+        assert len(mixed) == len(ADVERSARIAL_ARCHETYPES)
+        assert [c.case_id for c in suite] == list(range(len(suite)))
+
+    def test_incident_ids_unique_across_suite(self, suite):
+        ids = [s.incident_id for c in suite for s in c.specs]
+        assert len(ids) == len(set(ids))
+
+    def test_mixed_backgrounds_are_staggered_paper_incidents(self, suite):
+        for case in suite:
+            if case.kind != "mixed":
+                continue
+            subject, background = case.specs
+            assert subject.archetype in ADVERSARIAL_ARCHETYPES
+            assert background.archetype in PAPER_ARCHETYPES
+            assert background.start < subject.start
+            # The background's tail is (at most) two buckets past the
+            # subject's onset — nearly over at the decision point.
+            assert (
+                background.start + background.duration
+                <= subject.start + 2
+            )
+
+    def test_empty_families_rejected(self, suite_world):
+        with pytest.raises(ValueError):
+            build_scenario_suite(suite_world, seed=7, families=())
+
+
+class TestValidateScenarioSuite:
+    @pytest.fixture(scope="class")
+    def result(self, suite_world):
+        """A reduced two-family suite (one pipeline run per case)."""
+        return validate_scenario_suite(
+            suite_world,
+            seed=7,
+            families=(
+                IncidentArchetype.CLOUD_MAINTENANCE,
+                IncidentArchetype.FLASH_CROWD,
+            ),
+        )
+
+    def test_scorecard_shape(self, result):
+        scorecard = result.scorecard
+        assert scorecard["format_version"] >= 1
+        assert scorecard["seed"] == 7
+        assert set(scorecard["families"]) == {
+            "cloud_maintenance",
+            "flash_crowd",
+        }
+        overall = scorecard["overall"]
+        assert overall["incidents"] == sum(
+            stats["incidents"] for stats in scorecard["families"].values()
+        )
+        assert 0.0 <= overall["accuracy"] <= 1.0
+        assert "ambient_blames" in scorecard
+
+    def test_confusion_matrix_counts_every_incident(self, result):
+        scorecard = result.scorecard
+        total = sum(
+            count
+            for row in scorecard["confusion"].values()
+            for count in row.values()
+        )
+        assert total == scorecard["overall"]["incidents"]
+
+    def test_cases_carry_reports_for_drilldown(self, result):
+        assert result.cases
+        for case_outcome in result.cases:
+            assert case_outcome.report.total_quartets > 0
+            assert len(case_outcome.outcomes) == len(case_outcome.case.specs)
+
+    def test_suite_world_params_is_ringed(self):
+        params = suite_world_params()
+        assert params.rings == 3
+        assert params.sparse_ring_share == pytest.approx(0.45)
