@@ -6,22 +6,34 @@ accounting engine on an identical world:
 * BlameIt issues ~72× fewer traceroutes than a solution relying on
   active probing alone (every path every 10 minutes);
 * and ~20× fewer than a Trinocular-style adaptive prober.
+
+A second bench sweeps the on-demand budget across the three probe
+planners (``repro.core.probeplan``) on the adversarial suite's
+correlated-transit cases: the clustered planner must keep the paper
+planner's localization accuracy while issuing strictly fewer probes.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from _util import emit
 
 from repro.analysis.report import render_table
+from repro.analysis.validation import suite_world_params, validate_scenario_suite
 from repro.baselines.active_only import ActiveOnlyMonitor
 from repro.baselines.trinocular import TrinocularMonitor
 from repro.cloud.traceroute import TracerouteEngine
 from repro.core.config import BlameItConfig
 from repro.core.pipeline import BlameItPipeline
-from repro.sim.scenario import Scenario
+from repro.core.probeplan import PLANNER_KINDS
+from repro.sim.incidents import IncidentArchetype
+from repro.sim.scenario import Scenario, build_world
 
 RUN = (288, 2 * 288)  # one full day
+
+#: On-demand budgets swept by the planner curves (probes per window).
+BUDGETS = (1, 2, 5)
 
 
 def _measure(world, state):
@@ -91,3 +103,74 @@ def test_probe_savings(benchmark, incident_world, incident_state):
     assert counts["issues_detected_active"] > 0
     assert counts["belief_changes"] > 0
     emit("probe_savings", text)
+
+
+@pytest.fixture(scope="module")
+def suite_world():
+    """The canonical ringed suite world (shared with PR 8 validation)."""
+    return build_world(suite_world_params())
+
+
+def _planner_point(world, planner: str, budget: int) -> dict:
+    """One ⟨planner, budget⟩ point on the accuracy-vs-budget curve."""
+    config = BlameItConfig(
+        probe_planner=planner, probe_budget_per_window=budget
+    )
+    result = validate_scenario_suite(
+        world,
+        families=(IncidentArchetype.CORRELATED_TRANSIT,),
+        config=config,
+    )
+    families = result.scorecard["families"]
+    return {
+        "planner": planner,
+        "budget": budget,
+        "probes": sum(case.report.probes_on_demand for case in result.cases),
+        "accuracy": families["correlated_transit"]["accuracy"],
+    }
+
+
+def test_planner_budget_curves(benchmark, suite_world):
+    """Accuracy-vs-budget for naive / paper / clustered planners.
+
+    Scored on the adversarial suite's correlated-transit cases — the
+    family the clustered planner is built for: several metros share one
+    transit fault, so one representative probe should localize all of
+    them. Clustered must match the paper planner's accuracy at every
+    budget while issuing strictly fewer probes overall.
+    """
+
+    def _sweep():
+        return [
+            _planner_point(suite_world, planner, budget)
+            for planner in PLANNER_KINDS
+            for budget in BUDGETS
+        ]
+
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    by_key = {(p["planner"], p["budget"]): p for p in points}
+    rows = [
+        [
+            point["planner"],
+            point["budget"],
+            point["probes"],
+            f"{point['accuracy']:.2f}",
+        ]
+        for point in points
+    ]
+    text = render_table(
+        ["planner", "budget/window", "on-demand probes", "ct accuracy"],
+        rows,
+        title="Accuracy vs budget, correlated-transit suite cases",
+    )
+    for budget in BUDGETS:
+        paper = by_key[("paper", budget)]
+        clustered = by_key[("clustered", budget)]
+        # Same budget, fewer traceroutes, no accuracy regression.
+        assert clustered["probes"] <= paper["probes"], (budget, text)
+        assert clustered["accuracy"] >= paper["accuracy"], (budget, text)
+        assert clustered["accuracy"] >= 0.7, (budget, text)
+    total_paper = sum(by_key[("paper", b)]["probes"] for b in BUDGETS)
+    total_clustered = sum(by_key[("clustered", b)]["probes"] for b in BUDGETS)
+    assert total_clustered < total_paper, text
+    emit("probe_planner_curves", text)

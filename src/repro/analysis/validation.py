@@ -16,6 +16,10 @@
 
 Both are deliberately cheap to run many times over one shared world:
 :func:`build_warmup_state` does the expensive training pass once.
+
+Paper provenance: §6.3 (validation against 88 labelled incidents), §6.4
+and Figure 11 (corroboration with continuous traceroutes; BGP-path vs
+⟨AS, Metro⟩ grouping), §6.2 (impact ranking of concurrent incidents).
 """
 
 from __future__ import annotations

@@ -115,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_diag.add_argument("--end", type=int, default=None)
     p_diag.add_argument("--budget", type=int, default=5, help="probes per window")
     p_diag.add_argument(
+        "--planner",
+        choices=("naive", "paper", "clustered"),
+        default="paper",
+        help="how the on-demand prober spends its budget: 'paper' (§5.3 "
+        "impact ranking, the default), 'naive' (key order, no ranking), "
+        "or 'clustered' (co-anomalous targets share one probe and its "
+        "verdict; see repro.core.probeplan)",
+    )
+    p_diag.add_argument(
         "--reverse",
         action="store_true",
         help="enable the §5.1 reverse-traceroute extension",
@@ -219,6 +228,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--start", type=int, default=288)
     p_serve.add_argument("--end", type=int, default=None)
     p_serve.add_argument("--budget", type=int, default=5, help="probes per window")
+    p_serve.add_argument(
+        "--planner",
+        choices=("naive", "paper", "clustered"),
+        default="paper",
+        help="how the on-demand prober spends its budget (see the "
+        "diagnose verb; clustered planner history is checkpointed)",
+    )
     p_serve.add_argument(
         "--reverse",
         action="store_true",
@@ -406,6 +422,7 @@ def _cmd_diagnose(args) -> int:
         history_days=1,
         probe_budget_per_window=args.budget,
         use_reverse_traceroutes=args.reverse,
+        probe_planner=args.planner,
     )
     metrics = None
     if getattr(args, "metrics_json", None):
@@ -653,6 +670,7 @@ def _cmd_serve(args) -> int:
         history_days=1,
         probe_budget_per_window=args.budget,
         use_reverse_traceroutes=args.reverse,
+        probe_planner=args.planner,
     )
     pipeline = BlameItPipeline(
         scenario,

@@ -10,6 +10,16 @@ prohibitive (≈200M traceroutes/day at production scale), BlameIt:
    (expected remaining duration × predicted impacted clients),
 3. probes the top issues within a per-location budget, one traceroute per
    issue, while the issue is still ongoing.
+
+Which issues actually receive a traceroute is delegated to a probe
+planner (:mod:`repro.core.probeplan`): the default ``"paper"`` planner
+reproduces §5.3 exactly, while the ``"clustered"`` planner groups
+targets whose anomalies co-occur and spends one budget slot per group,
+attributing the verdict back to every member.
+
+Paper provenance: §5.3 (impact-ranked on-demand probing, per-location
+budget), §5.2 (middle blames name a set of candidate ASes that active
+probing must narrow).
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from repro.chaos import FaultPlan
 from repro.cloud.traceroute import TracerouteEngine, TracerouteResult
 from repro.core.blame import Blame, BlameResult
 from repro.core.prediction import ClientCountPredictor, DurationPredictor
+from repro.core.probeplan import CoAnomalyHistory, PaperPlanner, ProbePlanner
 from repro.net.addressing import Prefix24
 from repro.net.asn import ASPath
 from repro.net.bgp import Timestamp
@@ -267,7 +278,12 @@ class ProbeBudget:
 
 @dataclass(frozen=True, slots=True)
 class ProbedIssue:
-    """An on-demand traceroute spent on an issue."""
+    """An on-demand traceroute spent on an issue.
+
+    ``attributed`` names the other issues in the probe's planner group
+    (empty outside the clustered planner): the localization verdict is
+    recorded for them too, without spending further budget.
+    """
 
     issue_key: IssueKey
     prefix24: Prefix24
@@ -275,6 +291,7 @@ class ProbedIssue:
     result: TracerouteResult | None
     priority: float
     issue_first_seen: Timestamp = 0
+    attributed: tuple[IssueKey, ...] = ()
 
 
 class OnDemandProber:
@@ -288,6 +305,7 @@ class OnDemandProber:
         budget: ProbeBudget,
         metrics: MetricsRegistry | None = None,
         chaos: FaultPlan | None = None,
+        planner: "ProbePlanner | None" = None,
     ) -> None:
         self.engine = engine
         self.duration_predictor = duration_predictor
@@ -295,7 +313,14 @@ class OnDemandProber:
         self.budget = budget
         self.metrics = metrics or NULL_REGISTRY
         self.chaos = chaos
+        self.planner = planner or PaperPlanner(CoAnomalyHistory(48))
         self.probes_issued = 0
+
+    def observe_anomalies(self, keys) -> None:
+        """Feed one probe window's middle-blamed issue keys into the
+        planner's co-anomaly history (before :meth:`probe_window`, so
+        same-window co-occurrence is clusterable immediately)."""
+        self.planner.observe_window(keys)
 
     def priority(self, issue: MiddleIssue, now: Timestamp) -> float:
         """Predicted client-time product of an issue (§5.3).
@@ -312,11 +337,17 @@ class OnDemandProber:
     def probe_window(
         self, now: Timestamp, open_issues: list[MiddleIssue]
     ) -> list[ProbedIssue]:
-        """Probe the highest-priority unprobed issues within budget.
+        """Probe the planner's groups in rank order, within budget.
 
-        One traceroute per issue; an issue is probed at most once over its
-        lifetime (the comparison baseline provides the "before" picture,
-        so a single "during" measurement suffices).
+        One traceroute per planned group; an issue is probed at most once
+        over its lifetime (the comparison baseline provides the "before"
+        picture, so a single "during" measurement suffices). Under the
+        default paper planner every group is a singleton in
+        ``(-priority, key)`` order — the verbatim §5.3 flow. The
+        clustered planner spends one slot per co-anomaly cluster and
+        marks every member probed, saving the members' slots; a group
+        whose representative is denied by the budget leaves its members
+        unprobed (they stay candidates for later windows).
         """
         self.budget.start_window()
         # Priority inputs are fixed within a window, so compute each
@@ -327,21 +358,36 @@ class OnDemandProber:
              if not issue.probed),
             key=lambda pair: (-pair[0], pair[1].key),
         )
+        groups = self.planner.plan(ranked)
+        plan_metrics = self.metrics if self.planner.kind == "clustered" else None
         probed: list[ProbedIssue] = []
-        for priority, issue in ranked:
+        for group in groups:
+            issue = group.representative
             if not self.budget.try_consume(issue.location_id):
                 continue
             prefix = issue.representative_prefix()
             result = self._issue(issue.location_id, prefix, now)
             issue.probed = True
+            attributed = []
+            for member in group.attributed:
+                member.probed = True
+                attributed.append(member.key)
+            if plan_metrics is not None:
+                plan_metrics.histogram("probe.plan.cluster_size").observe(
+                    len(group.members)
+                )
+                if attributed:
+                    plan_metrics.counter("probe.plan.clusters").inc()
+                    plan_metrics.counter("probe.plan.saved").inc(len(attributed))
             probed.append(
                 ProbedIssue(
                     issue_key=issue.key,
                     prefix24=prefix,
                     time=now,
                     result=result,
-                    priority=priority,
+                    priority=group.priority,
                     issue_first_seen=issue.first_seen,
+                    attributed=tuple(attributed),
                 )
             )
         self.metrics.counter("probe.on_demand.denied").inc(self.budget.denied)

@@ -13,6 +13,9 @@ against. Continuous baselines (every path every 10 minutes) would cost
 Figure 13 sweeps the periodic interval with churn triggers on and off:
 12-hourly probing plus churn triggers keeps ~93 % localization accuracy
 at 72× less probing than the always-on strawman.
+
+Paper provenance: §5.4 (background traceroutes, churn triggers), §6.5
+and Figure 13 (probing-frequency ablation and cost comparison).
 """
 
 from __future__ import annotations

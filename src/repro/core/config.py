@@ -55,6 +55,21 @@ class BlameItConfig:
             Byte-identical to the scalar loop (the golden report and the
             equivalence sweep run against it); turn off to fall back to
             the executable-specification scalar loop.
+        probe_planner: How the on-demand prober spends its budget (see
+            :mod:`repro.core.probeplan`): ``"paper"`` (§5.3
+            impact-ranked, the default), ``"naive"`` (key order, no
+            ranking — the ablation baseline), or ``"clustered"`` (the
+            Less-is-More planner: targets whose anomalies co-occur are
+            clustered, one representative probed per cluster, the
+            verdict attributed back to all members).
+        probe_cluster_floor: Minimum co-anomaly similarity (Jaccard over
+            recent windows, in [0, 1]) for two targets to share a
+            cluster. Values above 1.0 disable clustering exactly — the
+            clustered planner then reproduces the paper planner
+            byte-for-byte.
+        probe_history_windows: Ring size of the co-anomaly history: how
+            many recent non-empty anomaly windows similarity is computed
+            over (bounded memory for year-scale runs).
     """
 
     tau: float = 0.8
@@ -70,6 +85,9 @@ class BlameItConfig:
     use_reverse_traceroutes: bool = False
     vectorized_passive: bool = False
     columnar_pipeline: bool = True
+    probe_planner: str = "paper"
+    probe_cluster_floor: float = 0.6
+    probe_history_windows: int = 48
 
     def __post_init__(self) -> None:
         if not 0.0 < self.tau <= 1.0:
@@ -86,3 +104,14 @@ class BlameItConfig:
             raise ValueError("probe_budget_per_window must be >= 0")
         if self.background_interval_buckets < 1:
             raise ValueError("background_interval_buckets must be >= 1")
+        if self.probe_planner not in ("naive", "paper", "clustered"):
+            raise ValueError(
+                "probe_planner must be one of 'naive', 'paper', "
+                f"'clustered', got {self.probe_planner!r}"
+            )
+        if self.probe_cluster_floor <= 0.0:
+            raise ValueError(
+                f"probe_cluster_floor must be > 0, got {self.probe_cluster_floor}"
+            )
+        if self.probe_history_windows < 1:
+            raise ValueError("probe_history_windows must be >= 1")

@@ -41,6 +41,7 @@ from repro.core.blame import Blame, BlameResult
 from repro.core.config import BlameItConfig
 from repro.core.localize import CulpritVerdict, localize_culprit
 from repro.core.passive import PassiveLocalizer
+from repro.core.probeplan import make_planner
 from repro.core.reverse import localize_bidirectional
 from repro.core.prediction import ClientCountPredictor, DurationPredictor
 from repro.core.quartet import Quartet, QuartetBatch
@@ -438,6 +439,7 @@ class BlameItPipeline:
             budget=ProbeBudget(self.config.probe_budget_per_window),
             metrics=self.metrics,
             chaos=self.chaos,
+            planner=make_planner(self.config),
         )
         self.cloud_tracker = _KeyedIssueTracker(Blame.CLOUD)
         self.client_tracker = _KeyedIssueTracker(Blame.CLIENT)
@@ -1014,10 +1016,38 @@ class BlameItPipeline:
                 self.cloud_tracker.update(time, bucket_results, cloud_asn)
                 self.client_tracker.update(time, bucket_results, cloud_asn)
         with metrics.span("phase.probing"):
+            # Co-anomaly history first, so targets that co-occur for the
+            # first time in this very window are already clusterable.
+            # This is the single fold shared by the sequential loop, the
+            # daemon's step API, and the sharded driver's merged blame
+            # columns — which is what keeps planner history (and thus
+            # clustered probing) byte-identical across all three.
+            self.on_demand.observe_anomalies(
+                {
+                    (r.quartet.location_id, r.quartet.middle)
+                    for r in results
+                    if r.blame is Blame.MIDDLE
+                }
+            )
             probed = self.on_demand.probe_window(now, open_issues)
         with metrics.span("phase.localization"):
             for probe in probed:
-                report.localized.append(self._localize(probe))
+                localized = self._localize(probe)
+                report.localized.append(localized)
+                for member_key in probe.attributed:
+                    report.localized.append(
+                        dataclasses.replace(
+                            localized,
+                            issue_key=member_key,
+                            category="cluster-attributed",
+                        )
+                    )
+                    metrics.counter("probe.plan.attributed").inc()
+                    if (
+                        localized.verdict is not None
+                        and localized.verdict.asn is not None
+                    ):
+                        metrics.counter("probe.plan.attribution_hits").inc()
             if self.reverse_baselines is not None:
                 self._verify_client_issues(now, report)
 

@@ -47,7 +47,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: a component's state_dict contains; restore refuses other versions.
 #: v2: checkpoints carry the held expected-RTT table and an ``extra``
 #: meta dict, and may land on any bucket (not just day boundaries).
-CHECKPOINT_SCHEMA_VERSION = 2
+#: v3: checkpoints carry the probe planner's co-anomaly history
+#: (:mod:`repro.core.probeplan`), so a resumed clustered run clusters
+#: exactly as the uninterrupted one would.
+CHECKPOINT_SCHEMA_VERSION = 3
 
 _META_SCHEMA = "checkpoint-meta"
 _STATE_SCHEMA = "pipeline-state"
@@ -223,6 +226,7 @@ class CheckpointStore:
             "cloud_tracker": pipeline.cloud_tracker.state_dict(),
             "client_tracker": pipeline.client_tracker.state_dict(),
             "budget": pipeline.on_demand.budget.state_dict(),
+            "probe_planner": pipeline.on_demand.planner.state_dict(),
             "probes_on_demand_issued": pipeline.on_demand.probes_issued,
             "recorded_middle": sorted(pipeline._recorded_middle),
             "report": codec.report_state_dict(report),
@@ -371,6 +375,7 @@ class CheckpointStore:
         pipeline.cloud_tracker.load_state_dict(payload["cloud_tracker"])
         pipeline.client_tracker.load_state_dict(payload["client_tracker"])
         pipeline.on_demand.budget.load_state_dict(payload["budget"])
+        pipeline.on_demand.planner.load_state_dict(payload["probe_planner"])
         pipeline.on_demand.probes_issued = int(
             payload["probes_on_demand_issued"]
         )

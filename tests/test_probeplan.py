@@ -1,0 +1,470 @@
+"""Tests for repro.core.probeplan: co-anomaly history, clustering,
+planner plumbing through the prober, pipeline, and checkpoint store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cloud.traceroute import TracerouteEngine, TracerouteView
+from repro.core.active import IssueTracker, OnDemandProber, ProbeBudget
+from repro.core.blame import Blame, BlameResult
+from repro.core.config import BlameItConfig
+from repro.core.pipeline import BlameItPipeline
+from repro.core.prediction import ClientCountPredictor, DurationPredictor
+from repro.core.probeplan import (
+    ClusteredPlanner,
+    CoAnomalyHistory,
+    NaivePlanner,
+    PaperPlanner,
+    make_planner,
+)
+from repro.core.quartet import Quartet
+from repro.core.thresholds import ExpectedRTTLearner
+from repro.io import report_to_dict
+from repro.net.geo import Region
+from repro.sim.scenario import Scenario
+
+K_A = ("edge-A", (10, 20))
+K_B = ("edge-B", (10, 30))
+K_C = ("edge-C", (10, 40))
+K_D = ("edge-D", (99,))  # path disjoint from the others
+
+
+def _history(windows, maxlen=8) -> CoAnomalyHistory:
+    history = CoAnomalyHistory(maxlen)
+    for window in windows:
+        history.observe(window)
+    return history
+
+
+class TestCoAnomalyHistory:
+    def test_rejects_nonpositive_maxlen(self):
+        with pytest.raises(ValueError):
+            CoAnomalyHistory(0)
+
+    def test_empty_windows_are_skipped(self):
+        history = _history([set(), {K_A}, set()])
+        assert len(history) == 1
+
+    def test_jaccard_similarity(self):
+        history = _history([{K_A, K_B}, {K_A, K_B}, {K_A}, {K_B, K_C}])
+        # A and B co-occur in 2 of 4 windows: 2 / (3 + 3 - 2).
+        assert history.similarity(K_A, K_B) == pytest.approx(0.5)
+        assert history.similarity(K_A, K_C) == 0.0
+        assert history.similarity(K_A, ("edge-X", (1,))) == 0.0
+
+    def test_similarity_on_empty_history_is_zero(self):
+        assert CoAnomalyHistory(4).similarity(K_A, K_B) == 0.0
+
+    def test_ring_evicts_oldest_windows(self):
+        history = _history([{K_A, K_B}] + [{K_C}] * 3, maxlen=3)
+        assert len(history) == 3
+        assert history.similarity(K_A, K_B) == 0.0  # evidence fell off
+
+    def test_state_dict_roundtrip_is_json_safe(self):
+        history = _history([{K_A, K_B}, {K_B, K_C}], maxlen=5)
+        state = json.loads(json.dumps(history.state_dict()))
+        restored = CoAnomalyHistory(1)
+        restored.load_state_dict(state)
+        assert restored.maxlen == 5
+        assert len(restored) == 2
+        for pair in ((K_A, K_B), (K_B, K_C), (K_A, K_C)):
+            assert restored.similarity(*pair) == history.similarity(*pair)
+
+
+def _blame_result(key, prefix=1, users=10, time=0) -> BlameResult:
+    location_id, middle = key
+    quartet = Quartet(
+        time=time,
+        prefix24=prefix,
+        location_id=location_id,
+        mobile=False,
+        mean_rtt_ms=90.0,
+        n_samples=20,
+        users=users,
+        client_asn=65000,
+        middle=middle,
+        region=Region.USA,
+    )
+    return BlameResult(quartet=quartet, blame=Blame.MIDDLE)
+
+
+def _issues(*keys, time=0):
+    """Open MiddleIssues for the given keys, one prefix each."""
+    tracker = IssueTracker()
+    results = [
+        _blame_result(key, prefix=index + 1, time=time)
+        for index, key in enumerate(keys)
+    ]
+    open_issues, _ = tracker.update(time, results)
+    return sorted(open_issues, key=lambda issue: issue.key)
+
+
+def _ranked(issues, priorities=None):
+    """(priority, issue) pairs in the paper's (-priority, key) order."""
+    priorities = priorities or {}
+    pairs = [(priorities.get(issue.key, 1.0), issue) for issue in issues]
+    return sorted(pairs, key=lambda pair: (-pair[0], pair[1].key))
+
+
+class TestClusteredPlanner:
+    def test_rejects_nonpositive_floor(self):
+        with pytest.raises(ValueError):
+            ClusteredPlanner(CoAnomalyHistory(4), floor=0.0)
+
+    def test_co_anomalous_shared_as_targets_cluster(self):
+        planner = ClusteredPlanner(
+            _history([{K_A, K_B}, {K_A, K_B}]), floor=0.6
+        )
+        groups = planner.plan(_ranked(_issues(K_A, K_B, K_C)))
+        keys = [{m.key for m in g.members} for g in groups]
+        assert {K_A, K_B} in keys
+        assert {K_C} in keys
+
+    def test_disjoint_paths_never_merge(self):
+        # Perfect co-occurrence, but no shared middle AS: a verdict
+        # names one AS, so attribution across them could not be valid.
+        planner = ClusteredPlanner(_history([{K_A, K_D}] * 3), floor=0.6)
+        groups = planner.plan(_ranked(_issues(K_A, K_D)))
+        assert all(len(g.members) == 1 for g in groups)
+
+    def test_complete_linkage_keeps_weak_chain_apart(self):
+        # A~B always together; C joins them only once in four windows,
+        # so every C pair sits at 0.25 — below the floor.  Single
+        # linkage would chain C in; complete linkage must not.
+        planner = ClusteredPlanner(
+            _history([{K_A, K_B, K_C}, {K_A, K_B}, {K_A, K_B}, {K_A, K_B}]),
+            floor=0.6,
+        )
+        groups = planner.plan(_ranked(_issues(K_A, K_B, K_C)))
+        keys = sorted(({m.key for m in g.members} for g in groups), key=sorted)
+        assert keys == [{K_A, K_B}, {K_C}]
+
+    def test_representative_is_highest_priority_member(self):
+        planner = ClusteredPlanner(_history([{K_A, K_B}] * 2), floor=0.6)
+        groups = planner.plan(
+            _ranked(_issues(K_A, K_B), priorities={K_A: 1.0, K_B: 9.0})
+        )
+        assert len(groups) == 1
+        assert groups[0].representative.key == K_B
+        assert groups[0].priority == 9.0
+        assert [m.key for m in groups[0].attributed] == [K_A]
+
+    def test_plan_is_input_order_invariant(self):
+        history_windows = [{K_A, K_B, K_C}, {K_A, K_B}, {K_B, K_C}]
+        priorities = {K_A: 3.0, K_B: 2.0, K_C: 1.0}
+        plans = []
+        for order in ((K_A, K_B, K_C), (K_C, K_A, K_B), (K_B, K_C, K_A)):
+            planner = ClusteredPlanner(_history(history_windows), floor=0.5)
+            ranked = _ranked(_issues(*order), priorities=priorities)
+            plans.append(
+                [
+                    (g.representative.key, [m.key for m in g.members])
+                    for g in planner.plan(ranked)
+                ]
+            )
+        assert plans[0] == plans[1] == plans[2]
+
+    def test_floor_above_one_is_exact_paper_plan(self):
+        issues = _issues(K_A, K_B, K_C)
+        ranked = _ranked(issues, priorities={K_A: 2.0, K_B: 5.0, K_C: 1.0})
+        clustered = ClusteredPlanner(_history([{K_A, K_B, K_C}] * 4), 1.01)
+        paper = PaperPlanner(CoAnomalyHistory(4))
+        def as_keys(groups):
+            return [
+                (g.representative.key, g.priority, [m.key for m in g.members])
+                for g in groups
+            ]
+
+        assert as_keys(clustered.plan(ranked)) == as_keys(paper.plan(ranked))
+
+    def test_naive_planner_ignores_priority(self):
+        issues = _issues(K_A, K_B)
+        ranked = _ranked(issues, priorities={K_A: 1.0, K_B: 9.0})
+        groups = NaivePlanner(CoAnomalyHistory(4)).plan(ranked)
+        assert [g.representative.key for g in groups] == [K_A, K_B]
+
+
+class TestPlannerState:
+    def test_make_planner_dispatch(self):
+        for kind, cls in (
+            ("naive", NaivePlanner),
+            ("paper", PaperPlanner),
+            ("clustered", ClusteredPlanner),
+        ):
+            planner = make_planner(BlameItConfig(probe_planner=kind))
+            assert type(planner) is cls
+            assert planner.kind == kind
+            assert planner.history.maxlen == 48
+
+    def test_state_roundtrip_preserves_clustering(self):
+        source = make_planner(
+            BlameItConfig(probe_planner="clustered", probe_history_windows=6)
+        )
+        for _ in range(3):
+            source.observe_window({K_A, K_B})
+        target = make_planner(BlameItConfig(probe_planner="clustered"))
+        target.load_state_dict(json.loads(json.dumps(source.state_dict())))
+        assert target.history.maxlen == 6
+        ranked = _ranked(_issues(K_A, K_B))
+        assert [
+            [m.key for m in g.members] for g in target.plan(ranked)
+        ] == [[m.key for m in g.members] for g in source.plan(ranked)]
+
+
+class _FlatOracle:
+    def traceroute_view(self, location_id, prefix24, time):
+        return TracerouteView(path=(1, 10, 65000), cumulative_ms=(2.0, 10.0, 20.0))
+
+
+def _prober(planner, budget=5, metrics=None) -> OnDemandProber:
+    engine = TracerouteEngine(
+        _FlatOracle(), np.random.default_rng(0), hop_noise_ms=0.0
+    )
+    return OnDemandProber(
+        engine=engine,
+        duration_predictor=DurationPredictor(),
+        client_predictor=ClientCountPredictor(),
+        budget=ProbeBudget(budget),
+        metrics=metrics,
+        planner=planner,
+    )
+
+
+class TestProberWithPlanner:
+    def test_cluster_spends_one_slot_and_attributes_members(self):
+        planner = ClusteredPlanner(_history([{K_A, K_B}] * 2), floor=0.6)
+        prober = _prober(planner)
+        issues = _issues(K_A, K_B, K_C)
+        probed = prober.probe_window(0, issues)
+        assert prober.probes_issued == 2  # one per cluster, not per issue
+        by_key = {p.issue_key: p for p in probed}
+        (cluster_rep,) = [p for p in probed if p.attributed]
+        assert set(cluster_rep.attributed) <= {K_A, K_B}
+        assert K_C in by_key and by_key[K_C].attributed == ()
+        # Every member is now marked probed — no re-probe next window.
+        assert prober.probe_window(1, issues) == []
+
+    def test_denied_representative_leaves_members_unprobed(self):
+        # Both clustered issues live at the same location; budget 0
+        # denies the representative, so neither member is marked probed.
+        keys = (("edge-A", (10, 20)), ("edge-A", (10, 30)))
+        planner = ClusteredPlanner(_history([set(keys)] * 2), floor=0.6)
+        prober = _prober(planner, budget=0)
+        issues = _issues(*keys)
+        assert prober.probe_window(0, issues) == []
+        assert all(not issue.probed for issue in issues)
+
+    def test_clustered_metrics_recorded(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        planner = ClusteredPlanner(_history([{K_A, K_B}] * 2), floor=0.6)
+        prober = _prober(planner, metrics=metrics)
+        prober.probe_window(0, _issues(K_A, K_B, K_C))
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["probe.plan.clusters"] == 1
+        assert snapshot["counters"]["probe.plan.saved"] == 1
+        assert snapshot["histograms"]["probe.plan.cluster_size"]["count"] == 2
+
+    def test_paper_planner_records_no_plan_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        prober = _prober(PaperPlanner(CoAnomalyHistory(4)), metrics=metrics)
+        prober.probe_window(0, _issues(K_A, K_B))
+        counters = metrics.snapshot()["counters"]
+        assert not any(name.startswith("probe.plan.") for name in counters)
+
+
+class TestConfigKnobs:
+    def test_unknown_planner_rejected(self):
+        with pytest.raises(ValueError):
+            BlameItConfig(probe_planner="greedy")
+
+    def test_bad_floor_and_history_rejected(self):
+        with pytest.raises(ValueError):
+            BlameItConfig(probe_cluster_floor=0.0)
+        with pytest.raises(ValueError):
+            BlameItConfig(probe_history_windows=0)
+
+
+def _pipeline_report(world, config):
+    """The golden-style fixed run under the given config."""
+    scenario = Scenario.from_world(world)
+    learner = ExpectedRTTLearner(history_days=1)
+    trainer = BlameItPipeline(scenario, config=config, learner=learner)
+    trainer.warmup(0, 96, stride=4)
+    pipeline = BlameItPipeline(
+        scenario,
+        config=config,
+        fixed_table=learner.table(),
+        seed=11,
+        rng_per_bucket=True,
+    )
+    report = pipeline.run(100, 160)
+    return pipeline, report
+
+
+class TestClusteringDisabledIsExactNoOp:
+    """Satellite regression: floor > 1.0 means the clustered planner is
+    byte-for-byte the paper planner — same report, same budget ledger."""
+
+    def test_report_and_budget_identical(self, small_world):
+        base = dict(history_days=1, background_interval_buckets=36)
+        paper_pipeline, paper_report = _pipeline_report(
+            small_world, BlameItConfig(**base, probe_planner="paper")
+        )
+        clustered_pipeline, clustered_report = _pipeline_report(
+            small_world,
+            BlameItConfig(
+                **base, probe_planner="clustered", probe_cluster_floor=1.01
+            ),
+        )
+        paper_json = json.dumps(report_to_dict(paper_report), sort_keys=True)
+        clustered_json = json.dumps(
+            report_to_dict(clustered_report), sort_keys=True
+        )
+        assert clustered_json == paper_json
+        for attr in ("denied", "denied_total"):
+            assert getattr(clustered_pipeline.on_demand.budget, attr) == (
+                getattr(paper_pipeline.on_demand.budget, attr)
+            )
+        assert (
+            clustered_pipeline.on_demand.probes_issued
+            == paper_pipeline.on_demand.probes_issued
+        )
+        assert not any(
+            item.category == "cluster-attributed"
+            for item in clustered_report.localized
+        )
+
+
+@pytest.fixture(scope="module")
+def faulty_world():
+    """Two-day, two-region world with enough middle faults that probe
+    windows actually feed the co-anomaly history (the shared small and
+    multi-day worlds stay middle-quiet over the test window)."""
+    from repro.sim.faults import FaultRates
+    from repro.sim.scenario import ScenarioParams, build_world
+
+    return build_world(
+        ScenarioParams(
+            seed=23,
+            regions=(Region.USA, Region.EUROPE),
+            duration_days=2,
+            locations_per_region=2,
+            fault_rates=FaultRates(middle_per_day=10.0),
+        )
+    )
+
+
+def _clustered_config() -> BlameItConfig:
+    return BlameItConfig(
+        history_days=1,
+        background_interval_buckets=36,
+        probe_planner="clustered",
+        probe_cluster_floor=0.5,
+        probe_history_windows=12,
+    )
+
+
+def _clustered_run(world, *, workers=None, store=None, warm_start=False,
+                   kill=None):
+    """One clustered-planner run crossing a day boundary (240..400)."""
+    from repro.chaos import FaultPlan
+    from repro.perf.sharded import ShardedPipeline
+
+    scenario = Scenario.from_world(world)
+    chaos = (
+        FaultPlan(seed=1, kill_at_bucket=kill) if kill is not None else None
+    )
+    if workers is not None:
+        pipeline = ShardedPipeline(
+            scenario,
+            config=_clustered_config(),
+            seed=11,
+            n_workers=workers,
+            store=store,
+            warm_start=warm_start,
+            chaos=chaos,
+        )
+    else:
+        pipeline = BlameItPipeline(
+            scenario,
+            config=_clustered_config(),
+            seed=11,
+            rng_per_bucket=True,
+            store=store,
+            warm_start=warm_start,
+            chaos=chaos,
+        )
+    if not warm_start:
+        pipeline.warmup(0, 96, stride=4)
+    return pipeline, pipeline.run(240, 400)
+
+
+def _digest(report) -> str:
+    return json.dumps(report_to_dict(report), sort_keys=True)
+
+
+class TestClusteredPersistence:
+    """Checkpoint schema v3: the planner's co-anomaly history rides
+    along, so resumed and sharded clustered runs stay byte-identical."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, faulty_world) -> str:
+        _, report = _clustered_run(faulty_world)
+        return _digest(report)
+
+    def test_checkpoint_roundtrips_planner_history(
+        self, faulty_world, tmp_path
+    ):
+        from repro.store import CheckpointStore
+
+        store = CheckpointStore(tmp_path)
+        pipeline, _ = _clustered_run(faulty_world, store=store)
+        saved = pipeline.on_demand.planner.state_dict()
+        assert saved["kind"] == "clustered"
+        assert len(saved["history"]["windows"]) > 0
+
+        scenario = Scenario.from_world(faulty_world)
+        resumed = BlameItPipeline(
+            scenario,
+            config=_clustered_config(),
+            seed=11,
+            rng_per_bucket=True,
+            store=store,
+            warm_start=True,
+        )
+        restored = resumed.on_demand.planner.state_dict()
+        store.close()
+        # The newest checkpoint lands at the last day boundary (288),
+        # so the restored ring is a prefix of the final one.
+        assert restored["kind"] == "clustered"
+        windows = saved["history"]["windows"]
+        assert restored["history"]["windows"] == (
+            windows[: len(restored["history"]["windows"])]
+        )
+
+    def test_kill_resume_byte_identical(
+        self, faulty_world, tmp_path, baseline
+    ):
+        from repro.chaos import ChaosKill
+        from repro.store import CheckpointStore
+
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ChaosKill):
+            _clustered_run(faulty_world, store=store, kill=288)
+        _, report = _clustered_run(
+            faulty_world, store=store, warm_start=True
+        )
+        store.close()
+        assert _digest(report) == baseline
+
+    def test_sharded_matches_sequential(self, faulty_world, baseline):
+        _, report = _clustered_run(faulty_world, workers=2)
+        assert _digest(report) == baseline
