@@ -12,8 +12,13 @@ Reports throughput in quartets/sec and the speedup, asserts the two
 paths produce byte-identical blame counts, and appends a JSON record to
 ``BENCH_scale.json`` at the repo root so the trend is tracked across
 commits. A worker sweep (1/2/4) then re-times the fast driver and
-appends per-worker scaling-efficiency rows — on a single-core box the
-efficiency honestly reflects that the fan-out buys nothing.
+appends per-worker rows carrying scaling efficiency, the per-stage
+wall-time split (waiting on shard results vs folding them), and the
+transport byte accounting (shared-memory vs pickled). The record also
+carries ``cpu_count`` and an ``efficiency_claim`` gated on it: a
+single-CPU box measures pure transport/pool overhead (the fan-out
+cannot buy speedup there) and is labelled "overhead-only" instead of
+pretending to demonstrate scaling.
 
 The timed runs use the default NullRegistry (instrumentation disabled —
 its cost is what the <5 % overhead acceptance bound is about); a short
@@ -79,6 +84,8 @@ def _run_scalar(scenario, table):
 
 
 def _run_fast(scenario, table, workers=1):
+    """One timed sharded run; returns (report, per-stage seconds,
+    transport byte accounting) with the worker pool torn down."""
     pipeline = ShardedPipeline(
         scenario,
         config=BlameItConfig(vectorized_passive=True),
@@ -86,7 +93,11 @@ def _run_fast(scenario, table, workers=1):
         seed=SEED,
         n_workers=workers,
     )
-    return pipeline.run(START, END)
+    try:
+        report = pipeline.run(START, END)
+    finally:
+        pipeline.close()
+    return report, dict(pipeline.stage_seconds), dict(pipeline.transport_stats)
 
 
 def _emit_metrics_snapshot(scenario, table):
@@ -100,7 +111,10 @@ def _emit_metrics_snapshot(scenario, table):
         n_workers=max(1, multiprocessing.cpu_count()),
         metrics=metrics,
     )
-    report = pipeline.run(START, START + METRICS_DAYS * BUCKETS_PER_DAY)
+    try:
+        report = pipeline.run(START, START + METRICS_DAYS * BUCKETS_PER_DAY)
+    finally:
+        pipeline.close()
     snapshot = report.metrics
     validate_snapshot(snapshot)
     METRICS_FILE.write_text(
@@ -125,11 +139,16 @@ def test_scale_pipeline(benchmark):
     scalar_report = _run_scalar(scenario, table)
     scalar_seconds = time.perf_counter() - t0
 
+    base_stats: dict[str, dict] = {}
+
+    def _timed_base():
+        report, stages, transport_stats = _run_fast(scenario, table, workers=1)
+        base_stats["stage_seconds"] = stages
+        base_stats["transport"] = transport_stats
+        return report
+
     t0 = time.perf_counter()
-    fast_report = benchmark.pedantic(
-        _run_fast, args=(scenario, table), kwargs={"workers": 1},
-        rounds=1, iterations=1,
-    )
+    fast_report = benchmark.pedantic(_timed_base, rounds=1, iterations=1)
     fast_seconds = time.perf_counter() - t0
 
     # Byte-identical results, not just "close": same quartet stream,
@@ -166,13 +185,25 @@ def test_scale_pipeline(benchmark):
     }
 
     # Worker sweep: re-time the fast driver at each fan-out and record
-    # scaling efficiency (t_1 / (N · t_N)) against the workers=1 run.
-    # Results must stay byte-identical to the workers=1 report.
-    sweep = [{"workers": 1, "fast_seconds": round(fast_seconds, 3),
-              "scaling_efficiency": 1.0}]
+    # scaling efficiency (t_1 / (N · t_N)) against the workers=1 run,
+    # plus the per-stage split (shard compute vs fold) and the bytes
+    # each transport path moved. Results must stay byte-identical to
+    # the workers=1 report.
+    def _round_stages(stages):
+        return {name: round(value, 3) for name, value in stages.items()}
+
+    sweep = [{
+        "workers": 1,
+        "fast_seconds": round(fast_seconds, 3),
+        "scaling_efficiency": 1.0,
+        "stage_seconds": _round_stages(base_stats["stage_seconds"]),
+        "transport": base_stats["transport"],
+    }]
     for workers in SWEEP_WORKERS[1:]:
         t0 = time.perf_counter()
-        sweep_report = _run_fast(scenario, table, workers=workers)
+        sweep_report, stages, transport_stats = _run_fast(
+            scenario, table, workers=workers
+        )
         sweep_seconds = time.perf_counter() - t0
         assert sweep_report.blame_counts == fast_report.blame_counts
         assert sweep_report.total_quartets == fast_report.total_quartets
@@ -182,9 +213,22 @@ def test_scale_pipeline(benchmark):
             "scaling_efficiency": round(
                 fast_seconds / (workers * sweep_seconds), 3
             ),
+            "stage_seconds": _round_stages(stages),
+            "transport": transport_stats,
         })
     record["worker_sweep"] = sweep
-    record["cpu_count"] = multiprocessing.cpu_count()
+    cpu_count = multiprocessing.cpu_count()
+    record["cpu_count"] = cpu_count
+    # The >0.7 efficiency acceptance only means anything when the box
+    # has cores for the fan-out to use; a 1-CPU runner measures pure
+    # transport/pool overhead and must say so instead of "failing".
+    if cpu_count == 1:
+        record["efficiency_claim"] = "overhead-only (single-CPU runner)"
+    else:
+        peak = max(row["scaling_efficiency"] for row in sweep[1:])
+        record["efficiency_claim"] = (
+            f"multi-core: peak efficiency {peak} across sweep"
+        )
 
     history = []
     if RESULTS_FILE.exists():
@@ -210,9 +254,11 @@ def test_scale_pipeline(benchmark):
         f"speedup  : {speedup:.2f}x  (floor {MIN_SPEEDUP}x)",
         "worker sweep: " + ", ".join(
             f"N={row['workers']}: {row['fast_seconds']}s "
-            f"(eff {row['scaling_efficiency']})"
+            f"(eff {row['scaling_efficiency']}, "
+            f"shm {row['transport']['shm_bytes']:,}B)"
             for row in sweep
         ) + f"  [{record['cpu_count']} CPU(s)]",
+        f"efficiency claim: {record['efficiency_claim']}",
         "blame counts byte-identical: True",
         f"phase seconds ({METRICS_DAYS}-day instrumented run): "
         + ", ".join(f"{k}={v}" for k, v in phase_seconds.items()),

@@ -135,7 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="run the window through the sharded pipeline with N worker "
-        "processes (default: the single-process sequential pipeline)",
+        "processes on a pool that persists across the run's per-day "
+        "segments (default: the single-process sequential pipeline)",
+    )
+    p_diag.add_argument(
+        "--transport",
+        choices=("shm", "pickle"),
+        default=None,
+        help="how shard results reach the fold under --workers: 'shm' "
+        "(shared-memory columns, the default) or 'pickle' (serialize "
+        "through the result pipe); REPRO_SHARD_TRANSPORT overrides the "
+        "default when unset, and shm silently degrades to pickle where "
+        "shared memory is unavailable",
     )
     p_diag.add_argument(
         "--metrics-json",
@@ -239,6 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--reverse",
         action="store_true",
         help="enable the §5.1 reverse-traceroute extension",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drive the daemon with the sharded pipeline: each bucket is "
+        "dispatched through a pool of N worker processes that persists "
+        "across steps (scenario-generated buckets only — incompatible "
+        "with --source-jsonl)",
+    )
+    p_serve.add_argument(
+        "--transport",
+        choices=("shm", "pickle"),
+        default=None,
+        help="shard-result transport under --workers (see the diagnose "
+        "verb)",
     )
     p_serve.add_argument(
         "--http-port",
@@ -395,6 +423,9 @@ def _cmd_diagnose(args) -> int:
     workers = getattr(args, "workers", None)
     if workers is not None and workers < 1:
         return _fail(f"--workers must be >= 1, got {workers}")
+    transport = getattr(args, "transport", None)
+    if transport is not None and workers is None:
+        return _fail("--transport requires --workers")
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     resume_dir = getattr(args, "resume", None)
     if checkpoint_dir and resume_dir and checkpoint_dir != resume_dir:
@@ -474,6 +505,7 @@ def _cmd_diagnose(args) -> int:
             chaos=chaos,
             store=store,
             warm_start=bool(resume_dir),
+            transport=transport,
         )
     else:
         pipeline = BlameItPipeline(
@@ -493,20 +525,24 @@ def _cmd_diagnose(args) -> int:
     from repro.chaos import ChaosKill
 
     try:
-        report = pipeline.run(args.start, end)
-    except ChaosKill as exc:
-        if store is not None:
-            store.close()
-        print(f"chaos: {exc}", file=sys.stderr)
-        return 3
-    except Exception as exc:
-        from repro.store import StoreError
-
-        if isinstance(exc, StoreError):
+        try:
+            report = pipeline.run(args.start, end)
+        except ChaosKill as exc:
             if store is not None:
                 store.close()
-            return _fail(f"cannot use checkpoint state: {exc}")
-        raise
+            print(f"chaos: {exc}", file=sys.stderr)
+            return 3
+        except Exception as exc:
+            from repro.store import StoreError
+
+            if isinstance(exc, StoreError):
+                if store is not None:
+                    store.close()
+                return _fail(f"cannot use checkpoint state: {exc}")
+            raise
+    finally:
+        if workers is not None:
+            pipeline.close()
     if store is not None:
         store.close()
     rows = [
@@ -617,6 +653,16 @@ def _cmd_serve(args) -> int:
         )
     if args.kill_at is not None and args.kill_at < 0:
         return _fail(f"--kill-at must be >= 0, got {args.kill_at}")
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        return _fail(f"--workers must be >= 1, got {workers}")
+    if getattr(args, "transport", None) is not None and workers is None:
+        return _fail("--transport requires --workers")
+    if workers is not None and args.source_jsonl:
+        return _fail(
+            "--workers requires scenario-generated buckets; the sharded "
+            "pipeline cannot ingest --source-jsonl batches"
+        )
     checkpoint_dir = args.checkpoint_dir
     resume_dir = args.resume
     if checkpoint_dir and resume_dir and checkpoint_dir != resume_dir:
@@ -672,14 +718,27 @@ def _cmd_serve(args) -> int:
         use_reverse_traceroutes=args.reverse,
         probe_planner=args.planner,
     )
-    pipeline = BlameItPipeline(
-        scenario,
-        config=config,
-        metrics=MetricsRegistry(),
-        rng_per_bucket=True,
-        store=store,
-        warm_start=bool(resume_dir),
-    )
+    if workers is not None:
+        from repro.perf.sharded import ShardedPipeline
+
+        pipeline = ShardedPipeline(
+            scenario,
+            config=config,
+            n_workers=workers,
+            metrics=MetricsRegistry(),
+            store=store,
+            warm_start=bool(resume_dir),
+            transport=getattr(args, "transport", None),
+        )
+    else:
+        pipeline = BlameItPipeline(
+            scenario,
+            config=config,
+            metrics=MetricsRegistry(),
+            rng_per_bucket=True,
+            store=store,
+            warm_start=bool(resume_dir),
+        )
     if resume_dir:
         print(f"resuming from checkpoint in {resume_dir}")
     else:
@@ -725,6 +784,8 @@ def _cmd_serve(args) -> int:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
         server.close()
+        if workers is not None:
+            pipeline.close()
         if alerts_file is not None:
             alerts_file.close()
         if store is not None:

@@ -19,14 +19,41 @@ columns (a :class:`~repro.core.blame.BlameResultBatch` plus composite
 pair-code arrays), so a sharded run's blame counts are byte-identical
 to the sequential pipeline's.
 
+Three execution-engine properties make the fan-out actually scale
+(DESIGN.md §4b):
+
+* **Persistent worker pool.** The pool is created lazily on the first
+  multi-worker dispatch and survives across per-day segments, across
+  whole runs, and across the streaming daemon's ``step`` cadence.
+  Workers are seeded once with everything run-invariant (scenario,
+  config, seed, chaos plan, transport mode); each task message carries
+  only the shard bounds, an epoch-tagged table reference, and the run's
+  window bounds. Tables ship by :class:`~repro.store.StoredTable`
+  reference — through the checkpoint store when one is attached, or a
+  throwaway :class:`~repro.store.EphemeralTableStore` otherwise — and
+  workers cache the loaded table by epoch, so a segment costs one table
+  load per worker, not one unpickle per task.
+* **Shared-memory columnar transport** (:mod:`repro.perf.transport`).
+  A worker packs all of a shard's summary arrays into one
+  ``multiprocessing.shared_memory`` segment and ships a compact
+  skeleton; the parent maps the arrays zero-copy and releases the
+  segment when the last window entry referencing it flushes. Falls
+  back to pickle transparently (``transport.*`` counters account both
+  paths).
+* **Fold/compute overlap.** Shards are dispatched individually and
+  their results stream back through a reorder buffer keyed by shard
+  index, so the parent folds shard *k* while shards *k+1…* are still
+  computing — the critical path is max(slowest shard, total fold)
+  rather than their sum. The reorder buffer is what keeps the fold
+  deterministic: buckets are always folded in exact time order no
+  matter the completion order.
+
 Without a ``fixed_table`` the sequential pipeline refreshes its
 expected-RTT table at every day boundary, so the sharded driver cuts
 such runs into per-day *segments*: the fold re-snapshots the table from
 the (fold-fed, therefore identical) learner at each boundary and ships
-the fresh snapshot to the workers for the next segment — through the
-checkpoint store as a :class:`~repro.store.StoredTable` reference when
-one is attached, pickled directly otherwise. One wrinkle: the
-sequential loop refreshes at the *top* of a day's first bucket but
+the fresh snapshot to the workers for the next segment. One wrinkle:
+the sequential loop refreshes at the *top* of a day's first bucket but
 flushes a blame window at the *bottom* of the window's last bucket, so
 a window straddling the boundary is blamed entirely with the new day's
 table. A worker therefore defers any bucket whose window flushes in a
@@ -39,9 +66,11 @@ whole-run segment and no deferral, exactly as before.
 from __future__ import annotations
 
 import multiprocessing
+import queue
 import time as time_mod
+import weakref
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -49,7 +78,7 @@ from repro.chaos import ChaosWorkerCrash, FaultPlan, inject_batch, sanitize_batc
 from repro.core.blame import BlameResult, BlameResultBatch
 from repro.core.config import BlameItConfig
 from repro.core.passive import PassiveLocalizer
-from repro.core.pipeline import BlameItPipeline, PipelineReport
+from repro.core.pipeline import BlameItPipeline, PipelineReport, RunState
 from repro.core.prediction import DurationPredictor
 from repro.core.quartet import QuartetBatch
 from repro.core.thresholds import ExpectedRTTLearner, ExpectedRTTTable
@@ -57,10 +86,29 @@ from repro.net.asn import ASPath
 from repro.net.bgp import Timestamp
 from repro.obs import NULL_REGISTRY, MetricsRegistry, Snapshot
 from repro.perf.batch import BatchQuartetGenerator
+from repro.perf.transport import (
+    PicklePayload,
+    ShmLease,
+    ShmPayload,
+    decode_result,
+    discard_payload,
+    encode_result,
+    resolve_mode,
+)
 from repro.sim.scenario import BUCKETS_PER_DAY, Scenario
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import CheckpointStore, StoredTable
+
+#: One shard's decoded result: summaries, the worker's metrics
+#: snapshot, and the shared-memory lease its arrays live under (None on
+#: the pickle/inline paths). A whole-shard ``None`` marks an abandoned
+#: shard whose buckets drop out of the fold.
+ShardResult = "tuple[list[BucketSummary], Snapshot | None, ShmLease | None]"
+
+#: Per-segment worker message: shard bounds, epoch-tagged table, the
+#: run's window bounds, the deferral flag, and the execution attempt.
+TableMessage = "tuple[int, ExpectedRTTTable | StoredTable]"
 
 
 @dataclass(slots=True)
@@ -74,6 +122,11 @@ class BucketSummary:
     Pair codes are comparable across shards because every shard runner's
     :class:`~repro.perf.batch.BatchQuartetGenerator` builds the same
     (fully-populated, append-only) vocabularies from the same scenario.
+
+    Over the shared-memory transport every array attribute is a
+    zero-copy view into the shard's segment; the fold's consumers all
+    materialize what they keep (``.tolist()`` products, per-row records)
+    before the segment is released.
 
     Attributes:
         time: Bucket index.
@@ -157,7 +210,14 @@ def _summarize_bucket(
 
 
 class _ShardRunner:
-    """Per-process state: built once, reused for every shard it gets."""
+    """Per-process compute core: built once, reused for every shard.
+
+    Construction is the expensive part (the batch generator's per-slot
+    precomputation); the persistent pool and the parent's inline path
+    both keep one runner alive and retarget it per segment via
+    :meth:`set_table` and the ``run_bounds`` / ``defer_cross_day``
+    attributes.
+    """
 
     def __init__(
         self,
@@ -171,18 +231,22 @@ class _ShardRunner:
         run_bounds: tuple[int, int] | None = None,
         defer_cross_day: bool = False,
     ) -> None:
-        if hasattr(table, "load"):  # a StoredTable reference
-            table = table.load()
         self.generator = BatchQuartetGenerator(scenario)
         self.metrics_enabled = metrics_enabled
         self.localizer = PassiveLocalizer(config, scenario.world.targets)
-        self.table = table
+        self.set_table(table)
         self.seed = seed
         self.chaos = chaos if chaos is not None and chaos.enabled else None
         self.want_learn = want_learn
         self.run_bounds = run_bounds
         self.defer_cross_day = defer_cross_day
         self.interval = config.run_interval_buckets
+
+    def set_table(self, table: "ExpectedRTTTable | StoredTable") -> None:
+        """Swap in a segment's table, resolving a stored reference."""
+        if hasattr(table, "load"):  # a StoredTable reference
+            table = table.load()
+        self.table = table
 
     def _defers(self, time: Timestamp) -> bool:
         """Whether ``time``'s blames must wait for the fold's table.
@@ -212,9 +276,9 @@ class _ShardRunner:
         would double-count them).
 
         ``attempt`` is the execution attempt for this shard (0 on first
-        dispatch, 1+ for the parent's inline retries); the fault plan's
-        crash decision is keyed on it, so a shard that crashed on attempt
-        0 can deterministically succeed on attempt 1.
+        dispatch, 1+ for the parent's retries); the fault plan's crash
+        decision is keyed on it, so a shard that crashed on attempt 0
+        can deterministically succeed on attempt 1.
         """
         start, end = bounds
         chaos = self.chaos
@@ -251,32 +315,120 @@ class _ShardRunner:
         return summaries, metrics.snapshot() if metrics.enabled else None
 
 
-_WORKER_RUNNER: _ShardRunner | None = None
+class _PersistentWorker:
+    """Worker-process state behind the persistent pool.
+
+    Seeded once at pool creation with everything run-invariant; each
+    task carries only what changes per segment. The runner (and its
+    expensive generator) is built on the first task and lives for the
+    pool's whole life; the expected-RTT table is cached by the parent's
+    epoch tag, so a table reference is resolved once per segment per
+    worker rather than once per task.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: BlameItConfig,
+        seed: int,
+        metrics_enabled: bool,
+        chaos: FaultPlan | None,
+        want_learn: bool,
+        transport: str,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config
+        self.seed = seed
+        self.metrics_enabled = metrics_enabled
+        self.chaos = chaos
+        self.want_learn = want_learn
+        self.transport = transport
+        self._runner: _ShardRunner | None = None
+        self._epoch: int | None = None
+
+    def run(
+        self,
+        bounds: tuple[int, int],
+        table_msg: "TableMessage",
+        run_bounds: tuple[int, int] | None,
+        defer_cross_day: bool,
+        attempt: int,
+    ) -> "ShmPayload | PicklePayload":
+        epoch, table = table_msg
+        runner = self._runner
+        if runner is None:
+            runner = self._runner = _ShardRunner(
+                self.scenario, self.config, table, self.seed,
+                self.metrics_enabled, self.chaos, self.want_learn,
+            )
+            self._epoch = epoch
+        elif epoch != self._epoch:
+            runner.set_table(table)
+            self._epoch = epoch
+        runner.run_bounds = run_bounds
+        runner.defer_cross_day = defer_cross_day
+        summaries, snapshot = runner.run_shard(bounds, attempt)
+        return encode_result(summaries, snapshot, self.transport)
+
+
+_WORKER: _PersistentWorker | None = None
 
 
 def _init_worker(
     scenario: Scenario,
     config: BlameItConfig,
-    table: "ExpectedRTTTable | StoredTable",
     seed: int,
     metrics_enabled: bool,
-    chaos: FaultPlan | None = None,
-    want_learn: bool = False,
-    run_bounds: tuple[int, int] | None = None,
-    defer_cross_day: bool = False,
+    chaos: FaultPlan | None,
+    want_learn: bool,
+    transport: str,
 ) -> None:
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = _ShardRunner(
-        scenario, config, table, seed, metrics_enabled, chaos, want_learn,
-        run_bounds, defer_cross_day,
+    global _WORKER
+    _WORKER = _PersistentWorker(
+        scenario, config, seed, metrics_enabled, chaos, want_learn, transport
     )
 
 
-def _run_shard(
-    bounds: tuple[int, int]
-) -> tuple[list[BucketSummary], Snapshot | None]:
-    assert _WORKER_RUNNER is not None, "worker not initialized"
-    return _WORKER_RUNNER.run_shard(bounds)
+def _run_shard_task(
+    bounds: tuple[int, int],
+    table_msg: "TableMessage",
+    run_bounds: tuple[int, int] | None,
+    defer_cross_day: bool,
+    attempt: int,
+) -> "ShmPayload | PicklePayload":
+    assert _WORKER is not None, "worker not initialized"
+    return _WORKER.run(bounds, table_msg, run_bounds, defer_cross_day, attempt)
+
+
+class _Resources:
+    """Process-level resources held apart from the pipeline object.
+
+    A separate holder lets a ``weakref.finalize`` reclaim the worker
+    pool, the shipped-table scratch store, and any outstanding shard
+    shared memory when a pipeline is garbage-collected without an
+    explicit :meth:`ShardedPipeline.close` — the common shape in tests,
+    which construct many pipelines and drop them.
+    """
+
+    __slots__ = ("pool", "pool_broken", "table_store", "leases")
+
+    def __init__(self) -> None:
+        self.pool: "multiprocessing.pool.Pool | None" = None
+        self.pool_broken = False
+        self.table_store = None
+        self.leases: set[ShmLease] = set()
+
+    def close(self) -> None:
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        leases, self.leases = self.leases, set()
+        for lease in leases:
+            lease.destroy()
+        store, self.table_store = self.table_store, None
+        if store is not None:
+            store.close()
 
 
 class ShardedPipeline:
@@ -293,7 +445,9 @@ class ShardedPipeline:
         duration_predictor: Optionally pre-seeded duration history.
         n_workers: Worker processes; ``None`` means one per CPU. With
             one worker (or when a pool cannot be spawned) shards run in
-            process — same results, no IPC.
+            process — same results, no IPC. The pool is created lazily
+            on the first multi-worker dispatch and persists across
+            segments, runs, and daemon steps until :meth:`close`.
         buckets_per_shard: Shard granularity; ``None`` splits the run
             range evenly across workers.
         alert_top_k: Tickets emitted.
@@ -304,23 +458,44 @@ class ShardedPipeline:
             counters) and the parent merges their snapshots at fold time,
             so counter totals match the sequential pipeline's. The parent
             additionally keeps shard bookkeeping under ``shard.*`` /
-            ``retry.shard.*`` (dispatches, crashes, retries) that has no
-            sequential counterpart.
+            ``retry.shard.*`` / ``transport.*`` (dispatches, crashes,
+            retries, IPC bytes) that has no sequential counterpart.
         chaos: Deterministic fault plan (see :mod:`repro.chaos`), shipped
             to every worker. Because fault decisions hash the thing's
             identity rather than evaluation order, a chaotic sharded run
             still matches the equally-chaotic sequential run wherever the
-            retries recover every shard.
-        shard_retry_attempts: Inline re-runs the parent grants each
-            failed shard before abandoning it (its buckets then simply
-            go missing from the fold, like production data loss).
+            retries recover every shard. An injected
+            :class:`~repro.chaos.ChaosWorkerCrash` costs one shard
+            resubmission — the pool itself survives.
+        shard_retry_attempts: Re-runs the parent grants each failed
+            shard before abandoning it (its buckets then simply go
+            missing from the fold, like production data loss). With a
+            pool, retries are resubmitted to it; inline they re-run in
+            process.
         store: Checkpoint store (see :mod:`repro.store`). The fold
             checkpoints at day boundaries — and pushes each day's table
             snapshot to the workers through the store — exactly like
             the sequential pipeline. Chaos kills land at day boundaries
             (buckets inside a segment are processed out of order, so a
             mid-day kill point has no sequential-equivalent meaning).
+            Without a store, a pool-backed run ships tables through a
+            temp-dir :class:`~repro.store.EphemeralTableStore` instead.
         warm_start: Resume from the store's newest checkpoint.
+        transport: Shard-result transport, ``"shm"`` (default) or
+            ``"pickle"``; the ``REPRO_SHARD_TRANSPORT`` environment
+            variable overrides the default when the argument is None.
+            See :mod:`repro.perf.transport`.
+
+    Attributes:
+        transport_stats: Plain always-on accounting of the transport —
+            ``shm_bytes`` / ``shm_segments`` / ``pickle_bytes`` /
+            ``fallbacks`` — mirrored into ``transport.*`` counters when
+            a metrics registry is attached.
+        stage_seconds: Cumulative wall time split between waiting on
+            shard results (``shard_wait``) and folding them (``fold``);
+            the benchmark's per-stage numbers.
+        pools_created: How many worker pools this pipeline has spawned
+            (1 for the whole life of a healthy multi-worker pipeline).
     """
 
     def __init__(
@@ -339,6 +514,7 @@ class ShardedPipeline:
         shard_retry_attempts: int = 1,
         store: "CheckpointStore | None" = None,
         warm_start: bool = False,
+        transport: str | None = None,
     ) -> None:
         self.config = config or BlameItConfig()
         self.metrics = metrics or NULL_REGISTRY
@@ -351,6 +527,7 @@ class ShardedPipeline:
             raise ValueError("shard_retry_attempts must be >= 0")
         self.buckets_per_shard = buckets_per_shard
         self.shard_retry_attempts = shard_retry_attempts
+        self.transport = resolve_mode(transport)
         self.pipeline = BlameItPipeline(
             scenario,
             config=self.config,
@@ -374,9 +551,35 @@ class ShardedPipeline:
         # the learner leaves each day in the identical state — which is
         # what makes the per-day table re-snapshots match too.
         self._want_learn = fixed_table is None
-        # Set per run(); shipped to workers for the deferral predicate.
+        # Set per run/step; shipped to workers for the deferral predicate.
         self._run_bounds: tuple[int, int] | None = None
         self._defer_cross_day = False
+        # Fold-side state, reset by begin_run: the current window's
+        # (time, blames, deferred batch, lease) entries and the shared
+        # pair-code → ⟨location, middle⟩ decode cache (every shard's
+        # generator assigns identical codes).
+        self._entries: list[
+            tuple[int, BlameResultBatch | None, QuartetBatch | None, ShmLease | None]
+        ] = []
+        self._decode: dict[int, tuple[str, ASPath]] = {}
+        # Shipped-table identity cache: re-sending the same snapshot
+        # (every daemon step within a day) reuses the same epoch-tagged
+        # reference, so workers keep their cached table.
+        self._shipped_table: ExpectedRTTTable | None = None
+        self._shipped_msg: "TableMessage | None" = None
+        self._table_epoch = 0
+        self._inline_runner: _ShardRunner | None = None
+        self._inline_epoch: int | None = None
+        self.transport_stats = {
+            "shm_bytes": 0,
+            "pickle_bytes": 0,
+            "shm_segments": 0,
+            "fallbacks": 0,
+        }
+        self.stage_seconds = {"shard_wait": 0.0, "fold": 0.0}
+        self.pools_created = 0
+        self._res = _Resources()
+        self._finalizer = weakref.finalize(self, self._res.close)
 
     # -- delegation ----------------------------------------------------
 
@@ -393,6 +596,22 @@ class ShardedPipeline:
         """Train the learner/predictors (single-process, see pipeline)."""
         self.pipeline.warmup(start, end, stride=stride)
 
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool, shipped-table scratch space, and any
+        outstanding shard shared memory. Idempotent. Also runs via a GC
+        finalizer, so dropped pipelines don't strand worker processes —
+        but the daemon/CLI paths call it explicitly (SIGTERM included)
+        rather than waiting on collection."""
+        self._res.close()
+
+    def __enter__(self) -> "ShardedPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- sharding ------------------------------------------------------
 
     def _shards(self, start: Timestamp, end: Timestamp) -> list[tuple[int, int]]:
@@ -405,98 +624,206 @@ class ShardedPipeline:
             (t, min(end, t + per_shard)) for t in range(start, end, per_shard)
         ]
 
-    def _map_shards(
-        self,
-        shards: list[tuple[int, int]],
-        table: "ExpectedRTTTable | StoredTable",
-    ) -> list[tuple[list[BucketSummary], "Snapshot | None"]]:
-        """Run every shard, recovering failures at shard granularity.
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool | None":
+        """The persistent pool, created on first use; None means run
+        inline (single worker, or a spawn failure we won't repeat)."""
+        res = self._res
+        if res.pool is not None:
+            return res.pool
+        if res.pool_broken:
+            return None
+        try:
+            res.pool = multiprocessing.Pool(
+                processes=self.n_workers,
+                initializer=_init_worker,
+                initargs=(
+                    self.scenario, self.config, self.seed,
+                    self.metrics.enabled, self.chaos, self._want_learn,
+                    self.transport,
+                ),
+            )
+        except (OSError, multiprocessing.ProcessError):
+            res.pool_broken = True
+            return None
+        self.pools_created += 1
+        return res.pool
 
-        Each shard is dispatched individually (``apply_async``, not a
-        single ``map``), so one worker failure costs exactly one shard:
-        the completed shards' results are kept and only the failed shard
-        is re-run inline in the parent, up to ``shard_retry_attempts``
-        times. A shard still failing after its retries is abandoned —
-        its buckets drop out of the fold and the pipeline carries on
-        degraded. Parent-side bookkeeping: ``shard.runs`` counts every
-        execution attempt; ``chaos.shard.crashed`` / ``shard.errors``
-        classify failures; ``retry.shard.*`` track the recovery arc.
+    def _ship_table(
+        self, day: int, table: ExpectedRTTTable
+    ) -> "TableMessage":
+        """The epoch-tagged table message for this segment's tasks.
+
+        Pool-backed runs ship a :class:`~repro.store.StoredTable`
+        reference — via the checkpoint store, or an ephemeral temp-dir
+        store without one — so each worker loads the table once per
+        epoch instead of unpickling it per task. The identity cache
+        keeps the epoch stable while the held table object is unchanged
+        (every daemon step within a day).
+        """
+        if table is self._shipped_table and self._shipped_msg is not None:
+            return self._shipped_msg
+        ref: "ExpectedRTTTable | StoredTable" = table
+        if self.n_workers > 1 and not self._res.pool_broken:
+            store = self._store
+            if store is None:
+                store = self._res.table_store
+                if store is None:
+                    # Function-level import: repro.store is a leaf of
+                    # repro.core, which imports this package back.
+                    from repro.store import EphemeralTableStore
+
+                    store = self._res.table_store = EphemeralTableStore()
+            ref = store.put_table(f"day-{day}", table)
+        self._table_epoch += 1
+        self._shipped_table = table
+        self._shipped_msg = (self._table_epoch, ref)
+        return self._shipped_msg
+
+    def _record_failure(self, exc: BaseException) -> None:
+        name = (
+            "chaos.shard.crashed"
+            if isinstance(exc, ChaosWorkerCrash)
+            else "shard.errors"
+        )
+        self.metrics.counter(name).inc()
+
+    def _count_transport(self, name: str, amount: int) -> None:
+        self.transport_stats[name] += amount
+        self.metrics.counter(f"transport.{name}").inc(amount)
+
+    def _inline_runner_for(self, table_msg: "TableMessage") -> _ShardRunner:
+        """The parent-process runner (single worker / pool fallback),
+        persistent like the pool workers' and retargeted the same way."""
+        epoch, table = table_msg
+        runner = self._inline_runner
+        if runner is None:
+            runner = self._inline_runner = _ShardRunner(
+                self.scenario, self.config, table, self.seed,
+                self.metrics.enabled, self.chaos, self._want_learn,
+            )
+            self._inline_epoch = epoch
+        elif epoch != self._inline_epoch:
+            runner.set_table(table)
+            self._inline_epoch = epoch
+        runner.run_bounds = self._run_bounds
+        runner.defer_cross_day = self._defer_cross_day
+        return runner
+
+    def _stream_inline(
+        self, shards: list[tuple[int, int]], table_msg: "TableMessage"
+    ) -> "Iterator[ShardResult | None]":
+        """In-process execution: one shard at a time, retries immediate.
+
+        Summaries never leave the process, so there is nothing to
+        encode — results carry no lease and no transport bytes.
         """
         metrics = self.metrics
-        enabled = metrics.enabled
-        outputs: list[tuple[list[BucketSummary], Snapshot | None] | None]
-        outputs = [None] * len(shards)
-        failed: list[int] = []
-        inline_runner: _ShardRunner | None = None
-
-        def runner() -> _ShardRunner:
-            nonlocal inline_runner
-            if inline_runner is None:
-                inline_runner = _ShardRunner(
-                    self.scenario, self.config, table, self.seed, enabled,
-                    self.chaos, self._want_learn,
-                    self._run_bounds, self._defer_cross_day,
-                )
-            return inline_runner
-
-        def record_failure(exc: BaseException) -> None:
-            name = (
-                "chaos.shard.crashed"
-                if isinstance(exc, ChaosWorkerCrash)
-                else "shard.errors"
-            )
-            metrics.counter(name).inc()
-
-        pool = None
-        if self.n_workers > 1 and len(shards) > 1:
-            try:
-                pool = multiprocessing.Pool(
-                    processes=min(self.n_workers, len(shards)),
-                    initializer=_init_worker,
-                    initargs=(
-                        self.scenario, self.config, table, self.seed, enabled,
-                        self.chaos, self._want_learn,
-                        self._run_bounds, self._defer_cross_day,
-                    ),
-                )
-            except (OSError, multiprocessing.ProcessError):
-                pool = None
-
-        if pool is not None:
-            with pool:
-                jobs = [
-                    pool.apply_async(_run_shard, (bounds,)) for bounds in shards
-                ]
-                for index, job in enumerate(jobs):
-                    metrics.counter("shard.runs").inc()
-                    try:
-                        outputs[index] = job.get()
-                    except Exception as exc:  # noqa: BLE001 - shard isolation
-                        record_failure(exc)
-                        failed.append(index)
-        else:
-            for index, bounds in enumerate(shards):
+        runner = self._inline_runner_for(table_msg)
+        for bounds in shards:
+            output = None
+            for attempt in range(self.shard_retry_attempts + 1):
                 metrics.counter("shard.runs").inc()
+                if attempt:
+                    metrics.counter("retry.shard.attempts").inc()
                 try:
-                    outputs[index] = runner().run_shard(bounds)
+                    output = runner.run_shard(bounds, attempt)
                 except Exception as exc:  # noqa: BLE001 - shard isolation
-                    record_failure(exc)
-                    failed.append(index)
-
-        for index in failed:
-            for attempt in range(1, self.shard_retry_attempts + 1):
-                metrics.counter("shard.runs").inc()
-                metrics.counter("retry.shard.attempts").inc()
-                try:
-                    outputs[index] = runner().run_shard(shards[index], attempt)
-                except Exception as exc:  # noqa: BLE001 - shard isolation
-                    record_failure(exc)
+                    self._record_failure(exc)
+                    output = None
                 else:
-                    metrics.counter("retry.shard.recovered").inc()
+                    if attempt:
+                        metrics.counter("retry.shard.recovered").inc()
                     break
             else:
                 metrics.counter("retry.shard.abandoned").inc()
-        return [output for output in outputs if output is not None]
+            yield None if output is None else (output[0], output[1], None)
+
+    def _stream_shards(
+        self, shards: list[tuple[int, int]], table_msg: "TableMessage"
+    ) -> "Iterator[ShardResult | None]":
+        """Yield each shard's result *in shard order, as available*.
+
+        Every shard is dispatched to the persistent pool up front;
+        completions stream back through a reorder buffer keyed by shard
+        index, so the consumer folds shard *k* the moment it (and its
+        predecessors) land, while later shards are still computing.
+        Failures are resubmitted to the pool — a crash costs one shard
+        re-run, never the pool — up to ``shard_retry_attempts`` times,
+        then the shard is abandoned (yielded as None). Parent-side
+        bookkeeping: ``shard.runs`` counts every dispatch;
+        ``chaos.shard.crashed`` / ``shard.errors`` classify failures;
+        ``retry.shard.*`` track the recovery arc.
+        """
+        if not shards:
+            return
+        pool = self._ensure_pool() if self.n_workers > 1 else None
+        if pool is None:
+            yield from self._stream_inline(shards, table_msg)
+            return
+        metrics = self.metrics
+        results: queue.SimpleQueue = queue.SimpleQueue()
+
+        def submit(index: int, attempt: int) -> None:
+            metrics.counter("shard.runs").inc()
+            if attempt:
+                metrics.counter("retry.shard.attempts").inc()
+            pool.apply_async(
+                _run_shard_task,
+                (
+                    shards[index], table_msg, self._run_bounds,
+                    self._defer_cross_day, attempt,
+                ),
+                callback=lambda payload, index=index: results.put(
+                    (index, payload, None)
+                ),
+                error_callback=lambda exc, index=index: results.put(
+                    (index, None, exc)
+                ),
+            )
+
+        for index in range(len(shards)):
+            submit(index, 0)
+        pending = len(shards)
+        attempts = [0] * len(shards)
+        ready: dict[int, "ShmPayload | PicklePayload | None"] = {}
+        emit = 0
+        try:
+            while pending:
+                index, payload, exc = results.get()
+                if exc is not None:
+                    self._record_failure(exc)
+                    attempts[index] += 1
+                    if attempts[index] <= self.shard_retry_attempts:
+                        submit(index, attempts[index])
+                        continue
+                    metrics.counter("retry.shard.abandoned").inc()
+                    payload = None
+                elif attempts[index]:
+                    metrics.counter("retry.shard.recovered").inc()
+                pending -= 1
+                ready[index] = payload
+                while emit in ready:
+                    payload = ready.pop(emit)
+                    emit += 1
+                    if payload is None:
+                        yield None
+                        continue
+                    result = decode_result(payload, self._count_transport)
+                    if result[2] is not None:
+                        self._res.leases.add(result[2])
+                    yield result
+        finally:
+            # An abandoned consumer (exception mid-fold, chaos kill)
+            # must not strand worker-written segments: wait out the
+            # in-flight tasks and reclaim their shared memory.
+            while pending:
+                _, payload, _ = results.get()
+                pending -= 1
+                if payload is not None:
+                    discard_payload(payload)
+            for payload in ready.values():
+                if payload is not None:
+                    discard_payload(payload)
 
     # -- the run -------------------------------------------------------
 
@@ -505,126 +832,228 @@ class ShardedPipeline:
 
         Generation and the passive phase run sharded; everything with
         cross-bucket or budget state (issue tracking, probing,
-        localization, alerts) folds in the parent in time order. When
+        localization, alerts) folds in the parent in time order —
+        overlapped with shard compute, see :meth:`_stream_shards`. When
         the fold learns online (no ``fixed_table``) the run is cut into
         per-day segments so the expected-RTT table is re-snapshotted at
         every day boundary — the same daily refresh the sequential loop
         performs, which keeps multi-day sharded runs byte-identical.
         """
+        state = self.begin_run(start, end)
+        try:
+            while state.cursor < state.end:
+                self._run_segment(state)
+            return self.finish_run(state)
+        finally:
+            self._abort_pending()
+
+    # -- the incremental step API --------------------------------------
+
+    def begin_run(
+        self,
+        start: Timestamp,
+        end: Timestamp,
+        regenerate=None,
+    ) -> RunState:
+        """Open an incremental sharded run over ``[start, end)``.
+
+        Same contract as :meth:`BlameItPipeline.begin_run` — the
+        streaming daemon drives either interchangeably. The pending
+        window restored from a checkpoint is carried as fold-side
+        *deferred* entries (checkpoints land on day boundaries, where
+        every pending bucket's window flushes under the new day's
+        table); ``state.window`` itself stays empty because the sharded
+        driver owns window materialization.
+        """
+        state = self.pipeline.begin_run(start, end, regenerate=regenerate)
+        self._entries = [
+            (time, None, batch, None)
+            for time, batch in zip(state.window_times, state.window)
+        ]
+        state.window = []
+        self._decode = {}
+        self._run_bounds = (state.report.start, state.end)
+        self._defer_cross_day = (
+            self.pipeline.fixed_table is None and not state.table_dropped
+        )
+        return state
+
+    def step(self, state: RunState, batch: QuartetBatch | None = None) -> None:
+        """Process the bucket at ``state.cursor`` sharded and advance.
+
+        The bucket is dispatched as a one-bucket shard through the
+        persistent pool (or inline), so a daemon stepping bucket by
+        bucket pays no per-step pool or table-shipping cost after the
+        first. External ``batch`` sources are unsupported: workers
+        regenerate buckets from the scenario, and an externally fed
+        batch has no deterministic worker-side equivalent — use the
+        sequential pipeline for those.
+        """
+        if batch is not None:
+            raise ValueError(
+                "sharded execution regenerates buckets from the scenario; "
+                "external batch sources require the sequential pipeline"
+            )
+        pipeline = self.pipeline
+        time = state.cursor
+        pipeline._refresh_table(state, time)  # noqa: SLF001 - driver seam
+        self._run_bounds = (state.report.start, state.end)
+        self._defer_cross_day = (
+            pipeline.fixed_table is None and not state.table_dropped
+        )
+        self._consume(
+            state,
+            [(time, time + 1)],
+            self._ship_table(time // BUCKETS_PER_DAY, state.table),
+        )
+        state.cursor = time + 1
+
+    def finish_run(self, state: RunState) -> PipelineReport:
+        """Flush the pending window, finalize, and return the report."""
+        if self._entries:
+            self._flush_entries(state.end - 1, state)
+        state.window = []
+        state.window_times = []
+        return self.pipeline.finish_run(state)
+
+    def _run_segment(self, state: RunState) -> None:
+        """Shard-and-fold from ``state.cursor`` to the segment end (the
+        next day boundary when the table refreshes daily, else the run
+        end), checkpointing at the segment's entry bucket."""
+        pipeline = self.pipeline
+        cursor = state.cursor
+        pipeline._refresh_table(state, cursor)  # noqa: SLF001 - driver seam
+        pipeline._maybe_checkpoint(  # noqa: SLF001 - driver seam
+            cursor,
+            state.entry,
+            state.window_times,
+            state.report,
+            table=pipeline._checkpoint_table(state),  # noqa: SLF001
+        )
+        refresh = pipeline.fixed_table is None and not state.table_dropped
+        self._defer_cross_day = refresh
+        self._run_bounds = (state.report.start, state.end)
+        day = cursor // BUCKETS_PER_DAY
+        seg_end = (
+            min(state.end, (day + 1) * BUCKETS_PER_DAY) if refresh else state.end
+        )
+        self._consume(
+            state,
+            self._shards(cursor, seg_end),
+            self._ship_table(day, state.table),
+        )
+        state.cursor = seg_end
+
+    def _consume(
+        self,
+        state: RunState,
+        shards: list[tuple[int, int]],
+        table_msg: "TableMessage",
+    ) -> None:
+        """Fold shard results as the stream yields them, in time order.
+
+        Splits wall time between ``shard_wait`` (blocking on the next
+        in-order shard) and ``fold`` (parent-side processing) — with
+        real overlap, segment time approaches
+        max(slowest shard, total fold) and ``shard_wait`` shrinks
+        toward the straggler's excess.
+        """
+        stream = self._stream_shards(shards, table_msg)
+        clock = time_mod.perf_counter
+        stage = self.stage_seconds
+        try:
+            mark = clock()
+            for bounds, result in zip(shards, stream):
+                now = clock()
+                stage["shard_wait"] += now - mark
+                self._fold_shard(state, bounds, result)
+                mark = clock()
+                stage["fold"] += mark - now
+        finally:
+            stream.close()
+
+    # -- the fold ------------------------------------------------------
+
+    def _fold_shard(
+        self,
+        state: RunState,
+        bounds: tuple[int, int],
+        result: "ShardResult | None",
+    ) -> None:
+        """Fold one shard's buckets; None means the shard was abandoned
+        (its buckets go missing, the fold carries on degraded)."""
+        start, end = bounds
+        lease: ShmLease | None = None
+        summaries: dict[int, BucketSummary] = {}
+        if result is not None:
+            shard_summaries, snapshot, lease = result
+            self.metrics.merge_snapshot(snapshot)
+            summaries = {summary.time: summary for summary in shard_summaries}
+        try:
+            for time in range(start, end):
+                self._fold_bucket(state, time, summaries.get(time), lease)
+        finally:
+            self._release(lease)
+
+    def _fold_bucket(
+        self,
+        state: RunState,
+        time: Timestamp,
+        summary: BucketSummary | None,
+        lease: ShmLease | None,
+    ) -> None:
+        """One bucket of the serial fold, mirroring the sequential
+        step: counters, learning + pair walk, background probing, BGP
+        updates, window append, cadence flush."""
         pipeline = self.pipeline
         metrics = self.metrics
-        config = self.config
-        self._run_bounds = (start, end)
-        restored = pipeline._restore_run(start, end)  # noqa: SLF001
-        window_times: list[int] = []
-        # (time, blames, deferred batch) for each non-empty bucket of
-        # the current window; exactly one of blames/batch is non-None.
-        window_entries: list[
-            tuple[int, BlameResultBatch | None, QuartetBatch | None]
-        ] = []
-        if restored is None:
-            cursor = start
-            report = PipelineReport(start=start, end=end)
-            pipeline._bootstrap_baselines(start, report)  # noqa: SLF001
-            table, table_dropped = pipeline._starting_table()  # noqa: SLF001
-        else:
-            cursor = restored.time
-            report = restored.report
-            table, table_dropped = pipeline._resume_table(restored)  # noqa: SLF001
-            window_times = list(restored.window_times)
-            generator, _ = pipeline._generator_for(self.scenario)  # noqa: SLF001
-            # Checkpoints land on day boundaries, where every pending
-            # window bucket straddles the boundary — so each regenerated
-            # batch is folded as a deferred entry, blamed at flush time
-            # with the current table (exactly what an uninterrupted run
-            # would have done).
-            window_entries = [
-                (time, None, batch)
-                for time, batch in zip(
-                    window_times,
-                    pipeline._regenerate_window(  # noqa: SLF001
-                        generator, window_times
-                    ),
+        report = state.report
+        metrics.counter("pipeline.buckets").inc()
+        if summary is not None:
+            report.total_quartets += summary.n_quartets
+            metrics.counter("pipeline.quartets").inc(summary.n_quartets)
+            self._fold_summary(time, summary, self._decode)
+            if summary.n_quartets:
+                if lease is not None:
+                    lease.retain()
+                self._entries.append(
+                    (time, summary.blames, summary.deferred_batch, lease)
                 )
-            ]
-        refresh = pipeline.fixed_table is None and not table_dropped
-        self._defer_cross_day = refresh
-        origin = cursor
-        table_day = cursor // BUCKETS_PER_DAY
-        # Pair-code → ⟨location, middle⟩ decode cache, shared across
-        # shards (every shard's generator assigns identical codes).
-        decode: dict[int, tuple[str, ASPath]] = {}
-        while cursor < end:
-            day = cursor // BUCKETS_PER_DAY
-            if refresh and day != table_day:
-                table = pipeline.learner.table(as_of_day=day)
-                table_day = day
-            pipeline._maybe_checkpoint(  # noqa: SLF001
-                cursor,
-                origin,
-                window_times,
-                report,
-                table=table if refresh else None,
-            )
-            seg_end = (
-                min(end, (day + 1) * BUCKETS_PER_DAY) if refresh else end
-            )
-            shard_table: "ExpectedRTTTable | StoredTable" = table
-            if self._store is not None:
-                shard_table = self._store.put_table(f"day-{day}", table)
-            by_time: dict[int, BucketSummary] = {}
-            for summaries, snapshot in self._map_shards(
-                self._shards(cursor, seg_end), shard_table
-            ):
-                metrics.merge_snapshot(snapshot)
-                for summary in summaries:
-                    by_time[summary.time] = summary
-            for time in range(cursor, seg_end):
-                summary = by_time.get(time)
-                metrics.counter("pipeline.buckets").inc()
-                if summary is not None:
-                    report.total_quartets += summary.n_quartets
-                    metrics.counter("pipeline.quartets").inc(summary.n_quartets)
-                    self._fold_summary(time, summary, decode)
-                    if summary.n_quartets:
-                        window_entries.append(
-                            (time, summary.blames, summary.deferred_batch)
-                        )
-                        window_times.append(time)
-                pipeline.background.run_bucket(time)
-                for update in self.scenario.updates_between(time, time + 1):
-                    pipeline.background.on_bgp_update(update)
-                if (time + 1 - start) % config.run_interval_buckets == 0:
-                    self._flush_window(time, window_entries, table, report)
-                    window_entries = []
-                    window_times = []
-            cursor = seg_end
-        if window_entries:
-            self._flush_window(end - 1, window_entries, table, report)
-        pipeline._finalize(report)  # noqa: SLF001
-        return report
+                state.window_times.append(time)
+        pipeline.background.run_bucket(time)
+        for update in self.scenario.updates_between(time, time + 1):
+            pipeline.background.on_bgp_update(update)
+        if (time + 1 - report.start) % self.config.run_interval_buckets == 0:
+            self._flush_entries(time, state)
 
-    def _flush_window(
-        self,
-        now: Timestamp,
-        entries: list[tuple[int, BlameResultBatch | None, QuartetBatch | None]],
-        table: ExpectedRTTTable,
-        report: PipelineReport,
-    ) -> None:
+    def _flush_entries(self, now: Timestamp, state: RunState) -> None:
         """Materialize one window's blames and run the active phase.
 
         Worker-computed blames are unpacked as-is; deferred buckets are
-        blamed here with the window's flush-time table.
+        blamed here with the flush-time table (``state.table``) — and a
+        restored window arrives fully deferred, matching the sequential
+        loop, which also assigns the whole window's blames at flush.
+        Each entry's shared-memory lease is released afterwards: the
+        materialized results are plain-Python records, so nothing
+        references the segment once the flush returns.
         """
+        entries, self._entries = self._entries, []
+        state.window_times = []
         pipeline = self.pipeline
-        results: list[BlameResult] = []
-        for _, blames, batch in entries:
-            if blames is not None:
-                results.extend(blames.to_results())
-            else:
-                with self.metrics.span("phase.passive"):
-                    results.extend(pipeline.passive.assign_batch(batch, table))
-        pipeline._process_results(now, results, report)  # noqa: SLF001
+        try:
+            results: list[BlameResult] = []
+            for _, blames, batch, _ in entries:
+                if blames is not None:
+                    results.extend(blames.to_results())
+                else:
+                    with self.metrics.span("phase.passive"):
+                        results.extend(
+                            pipeline.passive.assign_batch(batch, state.table)
+                        )
+            pipeline._process_results(now, results, state.report)  # noqa: SLF001
+        finally:
+            for *_, lease in entries:
+                self._release(lease)
 
     def _fold_summary(
         self,
@@ -668,3 +1097,23 @@ class ShardedPipeline:
                 key[0], key[1], prefixes[i]
             ):
                 pipeline.background.seed_target(key[0], key[1], prefixes[i], time)
+
+    # -- lease bookkeeping ---------------------------------------------
+
+    def _release(self, lease: ShmLease | None) -> None:
+        if lease is None:
+            return
+        lease.release()
+        if lease.released:
+            self._res.leases.discard(lease)
+
+    def _abort_pending(self) -> None:
+        """Reclaim shard shared memory left by an aborted run (chaos
+        kill, mid-fold failure); a completed run has nothing
+        outstanding, making this a no-op on the happy path."""
+        if not self._res.leases and not self._entries:
+            return
+        self._entries = []
+        leases, self._res.leases = self._res.leases, set()
+        for lease in leases:
+            lease.destroy()

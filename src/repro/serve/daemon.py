@@ -24,6 +24,15 @@ archive sweep and the next checkpoint leaves orphan chunks that resume
 simply truncates (the restored report still holds those entries). And
 the graceful-stop path checkpoints once more at the final cursor, so a
 SIGTERM'd daemon resumes exactly where it left off.
+
+The daemon accepts either a :class:`~repro.core.pipeline.BlameItPipeline`
+or a :class:`~repro.perf.sharded.ShardedPipeline` as its driver — both
+expose the same ``begin_run``/``step``/``finish_run`` contract over the
+same :class:`~repro.core.pipeline.RunState`. With the sharded driver,
+each step's bucket is dispatched through its persistent worker pool
+(created on the first step, reused for every subsequent one), while
+daemon-side concerns — checkpoints, archiving, alert streaming, the
+HTTP surface — keep reading the underlying sequential pipeline's state.
 """
 
 from __future__ import annotations
@@ -49,7 +58,10 @@ class BlameItDaemon:
     """Drive a pipeline bucket-by-bucket as a resumable service.
 
     Args:
-        pipeline: The pipeline to drive. Attach a
+        pipeline: The pipeline to drive — sequential, or a
+            :class:`~repro.perf.sharded.ShardedPipeline` (whose worker
+            pool then persists across every step; close it when the
+            daemon is done). Attach a
             :class:`~repro.store.checkpoint.CheckpointStore` (via
             ``pipeline.attach_store``) for checkpoint/resume and
             archiving; set ``warm_start`` to resume.
@@ -93,7 +105,12 @@ class BlameItDaemon:
             raise ValueError(
                 f"retention_days must be >= 1, got {retention_days}"
             )
-        self.pipeline = pipeline
+        # The driver owns begin_run/step/finish_run; everything else the
+        # daemon touches (stores, trackers, checkpoint helpers, the HTTP
+        # surface) lives on the underlying sequential pipeline, which a
+        # sharded driver exposes as its ``pipeline`` attribute.
+        self.driver = pipeline
+        self.pipeline = getattr(pipeline, "pipeline", pipeline)
         self.start = start
         self.end = end
         self.source = source if source is not None else ScenarioSource()
@@ -136,7 +153,9 @@ class BlameItDaemon:
         planned kill. Returns the finalized report, or None when stopped
         before the horizon (state checkpointed for a later resume)."""
         pipeline = self.pipeline
-        state = pipeline.begin_run(self.start, self.end, regenerate=self._replay)
+        state = self.driver.begin_run(
+            self.start, self.end, regenerate=self._replay
+        )
         with self._lock:
             self._state = state
             self._archive_seq = int(state.restored_extra.get("archive_seq", 0))
@@ -153,7 +172,7 @@ class BlameItDaemon:
             with self._lock:
                 pipeline._refresh_table(state, time)  # noqa: SLF001
                 self._maybe_checkpoint(state, time)
-                pipeline.step(state, batch)
+                self.driver.step(state, batch)
                 self._stream_alerts(state)
                 self._archive_old(state)
                 self._note_tracked(state)
@@ -305,7 +324,7 @@ class BlameItDaemon:
             report.localized[:0] = localized
             pipeline.cloud_tracker.closed[:0] = cloud
             pipeline.client_tracker.closed[:0] = client
-        return pipeline.finish_run(state)
+        return self.driver.finish_run(state)
 
     def _note_tracked(self, state: RunState) -> None:
         pipeline = self.pipeline

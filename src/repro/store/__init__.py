@@ -36,6 +36,7 @@ from repro.store.checkpoint import (
     CheckpointMismatchError,
     CheckpointNotFoundError,
     CheckpointStore,
+    EphemeralTableStore,
     RestoredRun,
     StoredTable,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "CheckpointNotFoundError",
     "CheckpointStore",
     "ColumnarBackend",
+    "EphemeralTableStore",
     "CorruptRecordError",
     "Record",
     "RestoredRun",

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import hashlib
 import pathlib
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -92,6 +94,38 @@ class StoredTable:
                 f"expected {_TABLE_SCHEMA!r}"
             )
         return codec.table_from_payload(record.payload)
+
+
+class EphemeralTableStore:
+    """Table shipping for sharded runs without a checkpoint store.
+
+    The persistent worker pool receives expected-RTT tables by
+    :class:`StoredTable` reference rather than by value (a day's table
+    can be large, and every worker would otherwise unpickle its own
+    copy per task). A :class:`CheckpointStore` provides that naturally;
+    a storeless run gets this minimal stand-in — the same
+    :meth:`put_table` contract over a throwaway temp directory, removed
+    on :meth:`close`.
+    """
+
+    def __init__(self) -> None:
+        self._root = tempfile.mkdtemp(prefix="repro-tables-")
+        self._columnar = ColumnarBackend(self._root)
+
+    def put_table(self, key: str, table: "ExpectedRTTTable") -> StoredTable:
+        """Persist a table snapshot; returns a worker-shippable ref."""
+        record_key = f"table/{key}"
+        self._columnar.put(
+            record_key,
+            codec.table_payload(table),
+            schema=_TABLE_SCHEMA,
+            version=CHECKPOINT_SCHEMA_VERSION,
+        )
+        return StoredTable(root=str(self._columnar.root), key=record_key)
+
+    def close(self) -> None:
+        self._columnar.close()
+        shutil.rmtree(self._root, ignore_errors=True)
 
 
 @dataclass(slots=True)
